@@ -1,0 +1,297 @@
+package fveval
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper (DESIGN.md §5), plus ablation benches for the design
+// choices called out in DESIGN.md §6. Each benchmark regenerates its
+// artifact at full size; run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for paper-vs-measured values.
+
+import (
+	"testing"
+
+	"fveval/internal/core"
+	"fveval/internal/equiv"
+	"fveval/internal/gen/rtlgen"
+	"fveval/internal/gen/svagen"
+	"fveval/internal/llm"
+	"fveval/internal/ltl"
+	"fveval/internal/mc"
+	"fveval/internal/rtl"
+	"fveval/internal/sva"
+)
+
+func BenchmarkTable1NL2SVAHuman(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reports, err := core.RunNL2SVAHuman(llm.Models(), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + core.FormatTable1(reports))
+		}
+	}
+}
+
+func BenchmarkTable2HumanPassK(b *testing.B) {
+	models := []llm.Model{
+		llm.ModelByName("gpt-4o"),
+		llm.ModelByName("gemini-1.5-flash"),
+		llm.ModelByName("llama-3.1-70b"),
+	}
+	for i := 0; i < b.N; i++ {
+		reports, err := core.RunNL2SVAHumanPassK(models, []int{1, 3, 5}, core.Options{Samples: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + core.FormatTable2(reports))
+		}
+	}
+}
+
+func BenchmarkTable3NL2SVAMachine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		zero, err := core.RunNL2SVAMachine(llm.Models(), 0, 300, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		three, err := core.RunNL2SVAMachine(llm.Models(), 3, 300, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + core.FormatTable3(zero, three))
+		}
+	}
+}
+
+func BenchmarkTable4MachinePassK(b *testing.B) {
+	models := []llm.Model{
+		llm.ModelByName("gpt-4o"),
+		llm.ModelByName("gemini-1.5-flash"),
+		llm.ModelByName("llama-3.1-70b"),
+	}
+	for i := 0; i < b.N; i++ {
+		reports, err := core.RunNL2SVAMachinePassK(models, []int{1, 3, 5}, 300, core.Options{Samples: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + core.FormatTable4(reports))
+		}
+	}
+}
+
+func BenchmarkTable5Design2SVA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pipe, err := core.RunDesign2SVA(llm.DesignModels(), "pipeline", core.Options{Samples: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fsm, err := core.RunDesign2SVA(llm.DesignModels(), "fsm", core.Options{Samples: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + core.FormatTable5(pipe, fsm))
+		}
+	}
+}
+
+func BenchmarkTable6DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := core.FormatTable6()
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+func BenchmarkFigure2HumanLengths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := core.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+func BenchmarkFigure3MachineLengths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := core.Figure3(300)
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+func BenchmarkFigure4RTLLengths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := core.Figure4()
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+func BenchmarkFigure6BLEUCorrelation(b *testing.B) {
+	models := []llm.Model{
+		llm.ModelByName("gpt-4o"),
+		llm.ModelByName("llama-3.1-70b"),
+	}
+	for i := 0; i < b.N; i++ {
+		out, err := core.Figure6(models, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md §6) ------------------------------------------
+
+// BenchmarkAblationEquivBound sweeps the lasso bound K on a liveness
+// equivalence pair: larger bounds increase confidence and cost.
+func BenchmarkAblationEquivBound(b *testing.B) {
+	a1, _ := sva.ParseAssertion(`assert property (@(posedge clk) disable iff (tb_reset) wr_push |-> strong(##[0:$] rd_pop));`)
+	a2, _ := sva.ParseAssertion(`assert property (@(posedge clk) disable iff (tb_reset) wr_push |-> strong(##[1:$] rd_pop));`)
+	sigs := &equiv.Sigs{Widths: map[string]int{"clk": 1, "tb_reset": 1, "wr_push": 1, "rd_pop": 1}}
+	for _, bound := range []int{8, 12, 16, 20} {
+		b.Run("K="+itoa(bound), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := equiv.Check(a1, a2, sigs, equiv.Options{Bound: bound})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Verdict != equiv.BImpliesA {
+					b.Fatalf("verdict drifted at K=%d: %v", bound, res.Verdict)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInduction compares k-induction proofs against pure
+// BMC falsification effort on Design2SVA ground-truth assertions.
+func BenchmarkAblationInduction(b *testing.B) {
+	inst := rtlgen.GenerateFSM(rtlgen.FSMParams{States: 6, Edges: 10, Width: 16, Complexity: 3, Seed: 77})
+	f, err := rtl.Parse(inst.Design + "\n" + inst.Bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := rtl.ElaborateBound(f, inst.DUTTop, inst.BenchTop, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	succ := inst.FSM.Succ[0]
+	body := "fsm_out == S0 |=> ("
+	for i, t := range succ {
+		if i > 0 {
+			body += " || "
+		}
+		body += "fsm_out == S" + itoa(t)
+	}
+	body += ")"
+	a, err := sva.ParseAssertion("assert property (@(posedge clk) disable iff (tb_reset) " + body + ");")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, maxInd := range []int{2, 5, 10} {
+		b.Run("k="+itoa(maxInd), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := mc.CheckAssertion(sys, a, mc.Options{MaxInduction: maxInd})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != mc.Proven {
+					b.Fatalf("expected proven, got %v", res.Status)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCritic measures the naturalizer critic retry loop:
+// dataset generation with the critic enabled (shipping quality) versus
+// raw single-shot rendering.
+func BenchmarkAblationCritic(b *testing.B) {
+	b.Run("with-critic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			retries := 0
+			for _, inst := range svagen.Dataset(100) {
+				retries += inst.Retries
+			}
+			if i == 0 {
+				b.Logf("total retries across 100 instances: %d", retries)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFeedback measures the §6 future-work extension: a
+// tool-feedback refinement loop around a weak model, comparing syntax
+// pass rates with and without retries.
+func BenchmarkAblationFeedback(b *testing.B) {
+	base := llm.ModelByName("llama-3-8b")
+	wrapped := &llm.FeedbackModel{
+		Base: base,
+		Check: func(resp string) error {
+			return sva.CheckSyntax(llm.ExtractCode(resp))
+		},
+		MaxRetries: 2,
+	}
+	for _, cfg := range []struct {
+		name  string
+		model llm.Model
+	}{{"base", base}, {"with-feedback", wrapped}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reports, err := core.RunNL2SVAHuman([]llm.Model{cfg.model}, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("%s: syntax=%.3f func=%.3f", cfg.model.Name(),
+						reports[0].Syntax, reports[0].Func)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLoweringDepth measures SVA lowering and formula
+// depth computation across the machine dataset (parser+lowering
+// throughput).
+func BenchmarkAblationLoweringDepth(b *testing.B) {
+	insts := svagen.Dataset(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, inst := range insts {
+			f, err := ltl.LowerAssertion(inst.Reference)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = ltl.Depth(f)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+// Command equivcheck decides the formal relationship between two SVA
+// assertions over free signals — a standalone front end to the custom
+// equivalence function the benchmark uses for its Func/Partial
+// metrics.
+//
+// Usage:
+//
+//	equivcheck -a 'assert property (@(posedge clk) x |-> ##1 y);' \
+//	           -b 'assert property (@(posedge clk) x |=> y);' \
+//	           -sig x:1 -sig y:1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fveval/internal/equiv"
+	"fveval/internal/ltl"
+	"fveval/internal/sva"
+)
+
+type sigList map[string]int
+
+func (s sigList) String() string { return fmt.Sprint(map[string]int(s)) }
+
+func (s sigList) Set(v string) error {
+	parts := strings.SplitN(v, ":", 2)
+	w := 1
+	if len(parts) == 2 {
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return err
+		}
+		w = n
+	}
+	s[parts[0]] = w
+	return nil
+}
+
+func main() {
+	aSrc := flag.String("a", "", "first assertion source")
+	bSrc := flag.String("b", "", "second assertion source")
+	sigs := sigList{"clk": 1, "tb_reset": 1}
+	flag.Var(sigs, "sig", "signal declaration name:width (repeatable)")
+	flag.Parse()
+	if *aSrc == "" || *bSrc == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := sva.ParseAssertion(*aSrc)
+	fatalIf(err, "assertion A")
+	fatalIf(sva.Validate(a), "assertion A")
+	b, err := sva.ParseAssertion(*bSrc)
+	fatalIf(err, "assertion B")
+	fatalIf(sva.Validate(b), "assertion B")
+
+	env := &equiv.Sigs{Widths: sigs, Consts: map[string]ltl.ConstVal{}}
+	res, err := equiv.Check(a, b, env, equiv.Options{})
+	fatalIf(err, "check")
+	fmt.Printf("verdict: %s (lasso bound %d)\n", res.Verdict, res.Bound)
+	if res.AB != nil {
+		fmt.Printf("\nwitness for A and not B:\n%s", res.AB)
+	}
+	if res.BA != nil {
+		fmt.Printf("\nwitness for B and not A:\n%s", res.BA)
+	}
+}
+
+func fatalIf(err error, what string) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "equivcheck: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}

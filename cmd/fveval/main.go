@@ -1,0 +1,144 @@
+// Command fveval runs the FVEval benchmark end to end: every table and
+// figure of the paper regenerates from one invocation.
+//
+// Usage:
+//
+//	fveval -table 1          # NL2SVA-Human greedy (Table 1)
+//	fveval -table 3 -count 300
+//	fveval -figure 6
+//	fveval -all -limit 20    # everything, truncated for a quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fveval/internal/core"
+	"fveval/internal/llm"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (1-6)")
+	figure := flag.Int("figure", 0, "figure number to regenerate (2, 3, 4, 6)")
+	all := flag.Bool("all", false, "run every table and figure")
+	limit := flag.Int("limit", 0, "truncate instance lists (0 = full size)")
+	count := flag.Int("count", 300, "NL2SVA-Machine dataset size")
+	samples := flag.Int("samples", 5, "samples per instance for pass@k runs")
+	workers := flag.Int("workers", 0, "evaluation parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	opt := core.Options{Limit: *limit, Samples: *samples, Workers: *workers}
+	if err := run(*table, *figure, *all, *count, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "fveval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, all bool, count int, opt core.Options) error {
+	if all {
+		for _, t := range []int{6, 1, 2, 3, 4, 5} {
+			if err := runTable(t, count, opt); err != nil {
+				return err
+			}
+		}
+		for _, f := range []int{2, 3, 4, 6} {
+			if err := runFigure(f, count, opt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if table > 0 {
+		return runTable(table, count, opt)
+	}
+	if figure > 0 {
+		return runFigure(figure, count, opt)
+	}
+	flag.Usage()
+	return nil
+}
+
+func runTable(table, count int, opt core.Options) error {
+	switch table {
+	case 1:
+		reports, err := core.RunNL2SVAHuman(llm.Models(), opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatTable1(reports))
+	case 2:
+		models := pick("gpt-4o", "gemini-1.5-flash", "llama-3.1-70b")
+		reports, err := core.RunNL2SVAHumanPassK(models, []int{1, 3, 5}, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatTable2(reports))
+	case 3:
+		zero, err := core.RunNL2SVAMachine(llm.Models(), 0, count, opt)
+		if err != nil {
+			return err
+		}
+		three, err := core.RunNL2SVAMachine(llm.Models(), 3, count, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatTable3(zero, three))
+	case 4:
+		models := pick("gpt-4o", "gemini-1.5-flash", "llama-3.1-70b")
+		reports, err := core.RunNL2SVAMachinePassK(models, []int{1, 3, 5}, count, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatTable4(reports))
+	case 5:
+		pipe, err := core.RunDesign2SVA(llm.DesignModels(), "pipeline", opt)
+		if err != nil {
+			return err
+		}
+		fsm, err := core.RunDesign2SVA(llm.DesignModels(), "fsm", opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatTable5(pipe, fsm))
+	case 6:
+		fmt.Println(core.FormatTable6())
+	default:
+		return fmt.Errorf("unknown table %d", table)
+	}
+	return nil
+}
+
+func runFigure(figure, count int, opt core.Options) error {
+	switch figure {
+	case 2:
+		s, err := core.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+	case 3:
+		fmt.Println(core.Figure3(count))
+	case 4:
+		fmt.Println(core.Figure4())
+	case 6:
+		s, err := core.Figure6(pick("gpt-4o", "llama-3.1-70b"), opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+	default:
+		return fmt.Errorf("unknown figure %d", figure)
+	}
+	return nil
+}
+
+func pick(names ...string) []llm.Model {
+	var out []llm.Model
+	for _, n := range names {
+		if m := llm.ModelByName(n); m != nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}

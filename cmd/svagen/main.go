@@ -1,0 +1,20 @@
+// Command svagen emits NL2SVA-Machine test instances: random SVA
+// assertions with critic-validated natural-language descriptions.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fveval/internal/gen/svagen"
+)
+
+func main() {
+	count := flag.Int("count", 10, "number of instances")
+	flag.Parse()
+	for _, inst := range svagen.Dataset(*count) {
+		fmt.Printf("# %s (retries: %d)\n", inst.ID, inst.Retries)
+		fmt.Printf("NL: %s\n", inst.NL)
+		fmt.Printf("Reference:\n%s\n\n", inst.Reference)
+	}
+}

@@ -1,0 +1,89 @@
+// Equivalence: reproduce the paper's Figure 7 classifications with the
+// assertion-to-assertion equivalence checker — the reproduction's
+// stand-in for the custom Jasper function.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fveval"
+)
+
+func main() {
+	widths := map[string]int{
+		"clk": 1, "tb_reset": 1,
+		"wr_push": 1, "rd_pop": 1,
+		"busy": 1, "hold": 1, "cont_gnt": 1,
+	}
+
+	// fifo_1r1w_bypass_4: gpt-4o's weak-implication answer is implied
+	// by the strong reference (partial pass).
+	ref := `asrt: assert property (@(posedge clk) disable iff (tb_reset)
+  wr_push |-> strong(##[0:$] rd_pop));`
+	gpt := `asrt: assert property (@(posedge clk) disable iff (tb_reset)
+  wr_push |-> ##[1:$] rd_pop);`
+	show("fifo_1r1w_bypass_4 / gpt-4o", gpt, ref, widths)
+
+	// arbiter_reverse_priority_9: gpt-4o's weaker all-three check
+	// (partial) and Llama's exact pairwise expansion (full pass).
+	ref2 := `asrt: assert property (@(posedge clk) disable iff (tb_reset)
+  !$onehot0({hold,busy,cont_gnt}) !== 1'b1);`
+	gpt2 := `asrt: assert property (@(posedge clk) disable iff (tb_reset)
+  !(busy && hold && cont_gnt));`
+	llama := `asrt: assert property (@(posedge clk) disable iff (tb_reset)
+  !(busy && (hold || cont_gnt)) && !(hold && (busy || cont_gnt)) && !(cont_gnt && (busy || hold)));`
+	show("arbiter_reverse_priority_9 / gpt-4o", gpt2, ref2, widths)
+	show("arbiter_reverse_priority_9 / llama-3.1-70b", llama, ref2, widths)
+
+	// Llama's hallucinated operator fails the syntax check outright.
+	bad := `asrt: assert property (@(posedge clk) disable iff (tb_reset)
+  wr_push |-> eventually(rd_pop));`
+	if err := fveval.CheckSyntax(bad); err != nil {
+		fmt.Printf("llama-3.1-70b response: Syntax: FAIL (%v)\n", err)
+	}
+}
+
+func show(name, model, ref string, widths map[string]int) {
+	res, err := fveval.CheckEquivalence(model, ref, widths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict := "Functionality: fail"
+	switch res.Verdict {
+	case fveval.Equivalent:
+		verdict = "Functionality: pass"
+	case fveval.AImpliesB, fveval.BImpliesA:
+		verdict = "Functionality: partial pass"
+	}
+	fmt.Printf("%s -> %s (verdict %v)\n", name, verdict, res.Verdict)
+	if res.AB != nil {
+		fmt.Printf("  model-but-not-reference witness:\n%s", indent(res.AB.String()))
+	}
+	if res.BA != nil {
+		fmt.Printf("  reference-but-not-model witness:\n%s", indent(res.BA.String()))
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

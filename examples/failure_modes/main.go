@@ -1,0 +1,68 @@
+// Failure modes: showcase the response error channels the proxy
+// models draw from — the taxonomy of Figures 7, 8, and 9 — and how
+// each class is judged by the evaluation flow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fveval"
+	"fveval/internal/equiv"
+	"fveval/internal/sva"
+)
+
+func main() {
+	widths := map[string]int{
+		"clk": 1, "tb_reset": 1, "sig_D": 1, "sig_F": 1, "sig_H": 4,
+	}
+	ref := `assert property (@(posedge clk) ((sig_D || ^sig_H) && sig_F));`
+
+	responses := []struct {
+		model, shot, code string
+	}{
+		{"gpt-4o", "0-shot",
+			`assert property (@(posedge clk) (sig_D || ($countones(sig_H) % 2 == 1)) |-> sig_F);`},
+		{"gpt-4o", "3-shot",
+			`assert property (@(posedge clk) ((sig_D || (^sig_H)) && sig_F));`},
+		{"llama-3.1-8b", "0-shot",
+			`assert property (@(posedge clk) (sig_D || ($countones(sig_H) % 2 == 1)) && sig_F);`},
+		{"llama-3.1-8b", "3-shot",
+			`assert property (@(posedge clk) ((sig_D || ($bits(sig_H) % 2 == 1)) && sig_F));`},
+		{"llama-3.1-70b", "0-shot",
+			`assert property (@(posedge clk) sig_D |-> eventually(sig_F));`},
+	}
+	fmt.Println("Problem: nl2sva_machine_3_61_0 (paper Fig. 8)")
+	fmt.Println("Reference:", ref)
+	fmt.Println()
+	for _, r := range responses {
+		fmt.Printf("%s | %s:\n  %s\n", r.model, r.shot, r.code)
+		if err := fveval.CheckSyntax(r.code); err != nil {
+			fmt.Printf("  Syntax: fail (%v)\n\n", err)
+			continue
+		}
+		res, err := fveval.CheckEquivalence(r.code, ref, widths)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch res.Verdict {
+		case fveval.Equivalent:
+			fmt.Println("  Syntax: pass | Functionality: pass")
+		case fveval.AImpliesB, fveval.BImpliesA:
+			fmt.Println("  Syntax: pass | Functionality: partial pass")
+		default:
+			fmt.Println("  Syntax: pass | Functionality: fail")
+		}
+		fmt.Println()
+	}
+
+	// Show a counterexample trace for an inequivalent pair.
+	a, _ := sva.ParseAssertion(`assert property (@(posedge clk) sig_D |-> ##1 sig_F);`)
+	b, _ := sva.ParseAssertion(`assert property (@(posedge clk) sig_D |-> ##2 sig_F);`)
+	res, err := equiv.Check(a, b, &equiv.Sigs{Widths: widths}, equiv.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delay mismatch verdict: %v\ncounterexample (A holds, B fails):\n%s",
+		res.Verdict, res.AB)
+}

@@ -1,0 +1,30 @@
+// Quickstart: evaluate two models on a slice of NL2SVA-Human and print
+// the Table-1-style report plus the dataset composition.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fveval"
+)
+
+func main() {
+	models := []fveval.Model{
+		fveval.ModelByName("gpt-4o"),
+		fveval.ModelByName("llama-3.1-70b"),
+	}
+	reports, err := fveval.RunNL2SVAHuman(models, fveval.Options{Limit: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fveval.FormatTable6())
+	fmt.Println(fveval.FormatTable1(reports))
+
+	// Inspect one judged response end to end.
+	r := reports[0]
+	for _, o := range r.Outcomes[:3] {
+		fmt.Printf("instance %s: syntax=%v func=%v partial=%v bleu=%.3f\n",
+			o.InstanceID, o.Syntax, o.Full, o.Partial, o.BLEU)
+	}
+}

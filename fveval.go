@@ -1,0 +1,133 @@
+// Package fveval is the public facade of the FVEval reproduction: a
+// benchmark and evaluation framework for language models on hardware
+// formal verification tasks via SystemVerilog Assertions, after
+// "FVEval: Understanding Language Model Capabilities in Formal
+// Verification of Digital Hardware" (Kang et al., DATE 2025).
+//
+// The facade re-exports the user-facing surface of the internal
+// packages:
+//
+//   - the three sub-benchmarks and their runners (NL2SVA-Human,
+//     NL2SVA-Machine, Design2SVA),
+//   - the formal backend (SVA parsing/validation, assertion
+//     equivalence checking, RTL elaboration and model checking),
+//   - the model layer (prompt construction, proxy model fleet), and
+//   - the metric set (BLEU, pass@k, token-length statistics).
+//
+// Quick start:
+//
+//	reports, err := fveval.RunNL2SVAHuman(fveval.Models(), fveval.Options{})
+//	fmt.Print(fveval.FormatTable1(reports))
+package fveval
+
+import (
+	"fveval/internal/core"
+	"fveval/internal/equiv"
+	"fveval/internal/llm"
+	"fveval/internal/metrics"
+	"fveval/internal/sva"
+)
+
+// Options tunes a benchmark run. See core.Options.
+type Options = core.Options
+
+// ModelReport aggregates one model's metrics on one task.
+type ModelReport = core.ModelReport
+
+// PassKReport aggregates pass@k metrics.
+type PassKReport = core.PassKReport
+
+// DesignReport aggregates Design2SVA metrics.
+type DesignReport = core.DesignReport
+
+// Model is the language-model interface; the built-in fleet consists
+// of calibrated offline proxies (see internal/llm).
+type Model = llm.Model
+
+// Verdict classifies an assertion pair.
+type Verdict = equiv.Verdict
+
+// Verdict values.
+const (
+	Inequivalent = equiv.Inequivalent
+	Equivalent   = equiv.Equivalent
+	AImpliesB    = equiv.AImpliesB
+	BImpliesA    = equiv.BImpliesA
+)
+
+// Models returns the full proxy fleet (8 models).
+func Models() []Model { return llm.Models() }
+
+// DesignModels returns the Design2SVA-capable subset (6 models).
+func DesignModels() []Model { return llm.DesignModels() }
+
+// ModelByName finds a proxy model.
+func ModelByName(name string) Model { return llm.ModelByName(name) }
+
+// RunNL2SVAHuman runs Table 1's evaluation.
+func RunNL2SVAHuman(models []Model, opt Options) ([]ModelReport, error) {
+	return core.RunNL2SVAHuman(models, opt)
+}
+
+// RunNL2SVAHumanPassK runs Table 2's evaluation.
+func RunNL2SVAHumanPassK(models []Model, ks []int, opt Options) ([]PassKReport, error) {
+	return core.RunNL2SVAHumanPassK(models, ks, opt)
+}
+
+// RunNL2SVAMachine runs one shot-setting of Table 3.
+func RunNL2SVAMachine(models []Model, shots, count int, opt Options) ([]ModelReport, error) {
+	return core.RunNL2SVAMachine(models, shots, count, opt)
+}
+
+// RunNL2SVAMachinePassK runs Table 4's evaluation.
+func RunNL2SVAMachinePassK(models []Model, ks []int, count int, opt Options) ([]PassKReport, error) {
+	return core.RunNL2SVAMachinePassK(models, ks, count, opt)
+}
+
+// RunDesign2SVA runs one category half of Table 5.
+func RunDesign2SVA(models []Model, kind string, opt Options) ([]DesignReport, error) {
+	return core.RunDesign2SVA(models, kind, opt)
+}
+
+// Table and figure renderers.
+var (
+	FormatTable1 = core.FormatTable1
+	FormatTable2 = core.FormatTable2
+	FormatTable3 = core.FormatTable3
+	FormatTable4 = core.FormatTable4
+	FormatTable5 = core.FormatTable5
+	FormatTable6 = core.FormatTable6
+	Figure2      = core.Figure2
+	Figure3      = core.Figure3
+	Figure4      = core.Figure4
+	Figure6      = core.Figure6
+)
+
+// CheckSyntax reports whether assertion source passes the tool-style
+// syntax check (parse + validate).
+func CheckSyntax(src string) error { return sva.CheckSyntax(src) }
+
+// CheckEquivalence decides the formal relationship between two
+// assertions over the given signal widths, returning the verdict and
+// optional counterexample traces.
+func CheckEquivalence(aSrc, bSrc string, widths map[string]int) (equiv.Result, error) {
+	a, err := sva.ParseAssertion(aSrc)
+	if err != nil {
+		return equiv.Result{}, err
+	}
+	b, err := sva.ParseAssertion(bSrc)
+	if err != nil {
+		return equiv.Result{}, err
+	}
+	sigs := &equiv.Sigs{Widths: widths}
+	return equiv.Check(a, b, sigs, equiv.Options{})
+}
+
+// BLEU scores a candidate against a reference assertion, over code
+// tokens with smoothing.
+func BLEU(candidate, reference string) float64 {
+	return metrics.BLEU(candidate, reference)
+}
+
+// PassAtK is the unbiased pass@k estimator.
+func PassAtK(n, c, k int) float64 { return metrics.PassAtK(n, c, k) }

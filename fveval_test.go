@@ -1,0 +1,59 @@
+package fveval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEquivalence(t *testing.T) {
+	widths := map[string]int{"clk": 1, "a": 1, "b": 1}
+	res, err := CheckEquivalence(
+		"assert property (@(posedge clk) a |=> b);",
+		"assert property (@(posedge clk) a |-> ##1 b);",
+		widths,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("verdict: %v", res.Verdict)
+	}
+}
+
+func TestFacadeSyntax(t *testing.T) {
+	if err := CheckSyntax("assert property (@(posedge clk) a |-> b);"); err != nil {
+		t.Fatalf("valid assertion rejected: %v", err)
+	}
+	if err := CheckSyntax("assert property (@(posedge clk) a |-> eventually(b));"); err == nil {
+		t.Fatalf("hallucinated operator accepted")
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	if PassAtK(5, 5, 1) != 1 {
+		t.Fatalf("PassAtK broken")
+	}
+	if BLEU("a b c", "a b c") < 0.99 {
+		t.Fatalf("BLEU broken")
+	}
+}
+
+func TestFacadeFleet(t *testing.T) {
+	if len(Models()) != 8 || len(DesignModels()) != 6 {
+		t.Fatalf("fleet sizes: %d / %d", len(Models()), len(DesignModels()))
+	}
+	if ModelByName("gpt-4o") == nil {
+		t.Fatalf("gpt-4o missing")
+	}
+}
+
+func TestFacadeEndToEndSlice(t *testing.T) {
+	reports, err := RunNL2SVAHuman([]Model{ModelByName("gpt-4o")}, Options{Limit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable1(reports)
+	if !strings.Contains(out, "gpt-4o") {
+		t.Fatalf("report malformed:\n%s", out)
+	}
+}

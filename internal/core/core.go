@@ -1,0 +1,477 @@
+// Package core is the benchmark framework: it assembles the three
+// sub-benchmarks (NL2SVA-Human, NL2SVA-Machine, Design2SVA), runs
+// models through the full evaluation flow — prompt, response
+// extraction, syntax check, formal equivalence or proof — and
+// aggregates the paper's metrics into table and figure reports.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"fveval/internal/dataset/human"
+	"fveval/internal/equiv"
+	"fveval/internal/gen/rtlgen"
+	"fveval/internal/gen/svagen"
+	"fveval/internal/llm"
+	"fveval/internal/mc"
+	"fveval/internal/metrics"
+	"fveval/internal/rtl"
+	"fveval/internal/sva"
+)
+
+// Options tunes a benchmark run.
+type Options struct {
+	// Limit truncates the instance list (0 = all); tests use small
+	// limits, benches run full size.
+	Limit int
+	// Samples per instance for pass@k runs.
+	Samples int
+	// Budget caps SAT conflicts per query (0 = default 200000).
+	Budget int64
+	// Workers sets evaluation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget == 0 {
+		o.Budget = 200000
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Samples == 0 {
+		o.Samples = 1
+	}
+	return o
+}
+
+// Outcome is the judged result of one response.
+type Outcome struct {
+	InstanceID string
+	Response   string
+	Syntax     bool
+	Full       bool // exact formal equivalence (or proven, for Design2SVA)
+	Partial    bool // one-directional equivalence (includes Full)
+	BLEU       float64
+}
+
+// ModelReport aggregates outcomes for one model on one task setting.
+type ModelReport struct {
+	Model    string
+	Count    int
+	Syntax   float64
+	Func     float64
+	Partial  float64
+	BLEU     float64
+	Outcomes []Outcome
+}
+
+func aggregate(model string, outs []Outcome) ModelReport {
+	r := ModelReport{Model: model, Count: len(outs), Outcomes: outs}
+	if len(outs) == 0 {
+		return r
+	}
+	var s, f, p, b float64
+	for _, o := range outs {
+		if o.Syntax {
+			s++
+		}
+		if o.Full {
+			f++
+		}
+		if o.Partial {
+			p++
+		}
+		b += o.BLEU
+	}
+	n := float64(len(outs))
+	r.Syntax, r.Func, r.Partial, r.BLEU = s/n, f/n, p/n, b/n
+	return r
+}
+
+// PassKReport aggregates pass@k across samples.
+type PassKReport struct {
+	Model    string
+	N        int // samples per instance
+	SyntaxK  map[int]float64
+	FuncK    map[int]float64
+	PartialK map[int]float64
+}
+
+// HumanInstance is one NL2SVA-Human test case with its environment.
+type HumanInstance struct {
+	ID        string
+	Testbench *human.Testbench
+	NL        string
+	Reference *sva.Assertion
+	Sigs      *equiv.Sigs
+}
+
+// LoadHuman assembles the NL2SVA-Human instances, deriving each
+// testbench's signal environment by elaboration.
+func LoadHuman() ([]*HumanInstance, error) {
+	var out []*HumanInstance
+	for _, tb := range human.Testbenches() {
+		f, err := rtl.Parse(tb.Source)
+		if err != nil {
+			return nil, fmt.Errorf("core: testbench %s: %w", tb.Name, err)
+		}
+		sys, err := rtl.Elaborate(f, tb.Top, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: testbench %s: %w", tb.Name, err)
+		}
+		w, c := sys.Sigs()
+		sigs := &equiv.Sigs{Widths: w, Consts: c}
+		for _, pair := range tb.Pairs {
+			ref, err := sva.ParseAssertion(pair.Reference)
+			if err != nil {
+				return nil, fmt.Errorf("core: reference %s: %w", pair.ID, err)
+			}
+			out = append(out, &HumanInstance{
+				ID: pair.ID, Testbench: tb, NL: pair.NL, Reference: ref, Sigs: sigs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// MachineInstance adapts svagen output with the shared machine
+// environment.
+type MachineInstance struct {
+	ID        string
+	NL        string
+	Reference *sva.Assertion
+	Sigs      *equiv.Sigs
+}
+
+// LoadMachine builds the NL2SVA-Machine dataset (paper size 300).
+func LoadMachine(count int) []*MachineInstance {
+	sigs := equiv.DefaultMachineSigs()
+	var out []*MachineInstance
+	for _, inst := range svagen.Dataset(count) {
+		out = append(out, &MachineInstance{
+			ID: inst.ID, NL: inst.NL, Reference: inst.Reference, Sigs: sigs,
+		})
+	}
+	return out
+}
+
+// judgeTranslation runs the full evaluation flow on one response.
+func judgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs, budget int64) Outcome {
+	code := llm.ExtractCode(response)
+	out := Outcome{InstanceID: id, Response: code}
+	out.BLEU = metrics.BLEU(code, ref.String())
+	cand, err := sva.ParseAssertion(code)
+	if err != nil {
+		return out
+	}
+	if err := sva.Validate(cand); err != nil {
+		return out
+	}
+	res, err := equiv.Check(cand, ref, sigs, equiv.Options{Budget: budget})
+	if err != nil {
+		// elaboration failure (undeclared signals etc.) counts against
+		// the syntax metric, mirroring the tool compile step
+		return out
+	}
+	out.Syntax = true
+	switch res.Verdict {
+	case equiv.Equivalent:
+		out.Full, out.Partial = true, true
+	case equiv.AImpliesB, equiv.BImpliesA:
+		out.Partial = true
+	}
+	return out
+}
+
+// parallelMap runs f over n indices with bounded workers.
+func parallelMap(n, workers int, f func(i int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// RunNL2SVAHuman evaluates models on NL2SVA-Human with greedy decoding
+// (Table 1).
+func RunNL2SVAHuman(models []llm.Model, opt Options) ([]ModelReport, error) {
+	opt = opt.withDefaults()
+	insts, err := LoadHuman()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Limit > 0 && opt.Limit < len(insts) {
+		insts = insts[:opt.Limit]
+	}
+	var reports []ModelReport
+	for _, m := range models {
+		outs := make([]Outcome, len(insts))
+		parallelMap(len(insts), opt.Workers, func(i int) {
+			in := insts[i]
+			p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
+			resp := m.Generate(p, 0)
+			outs[i] = judgeTranslation(in.ID, resp, in.Reference, in.Sigs, opt.Budget)
+		})
+		reports = append(reports, aggregate(m.Name(), outs))
+	}
+	return reports, nil
+}
+
+// RunNL2SVAHumanPassK evaluates pass@k with multiple samples
+// (Table 2).
+func RunNL2SVAHumanPassK(models []llm.Model, ks []int, opt Options) ([]PassKReport, error) {
+	opt = opt.withDefaults()
+	if opt.Samples < 2 {
+		opt.Samples = 5
+	}
+	insts, err := LoadHuman()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Limit > 0 && opt.Limit < len(insts) {
+		insts = insts[:opt.Limit]
+	}
+	var reports []PassKReport
+	for _, m := range models {
+		rep := passKRun(m, len(insts), opt, ks, func(i, s int) Outcome {
+			in := insts[i]
+			p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
+			resp := m.Generate(p, s)
+			return judgeTranslation(in.ID, resp, in.Reference, in.Sigs, opt.Budget)
+		})
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// RunNL2SVAMachine evaluates the machine benchmark at a shot count
+// (Table 3 columns).
+func RunNL2SVAMachine(models []llm.Model, shots, count int, opt Options) ([]ModelReport, error) {
+	opt = opt.withDefaults()
+	insts := LoadMachine(count)
+	if opt.Limit > 0 && opt.Limit < len(insts) {
+		insts = insts[:opt.Limit]
+	}
+	var reports []ModelReport
+	for _, m := range models {
+		outs := make([]Outcome, len(insts))
+		parallelMap(len(insts), opt.Workers, func(i int) {
+			in := insts[i]
+			p := llm.BuildMachinePrompt(in.ID, in.NL, shots, in.Reference)
+			resp := m.Generate(p, 0)
+			outs[i] = judgeTranslation(in.ID, resp, in.Reference, in.Sigs, opt.Budget)
+		})
+		reports = append(reports, aggregate(m.Name(), outs))
+	}
+	return reports, nil
+}
+
+// RunNL2SVAMachinePassK evaluates machine pass@k at 3-shot (Table 4).
+func RunNL2SVAMachinePassK(models []llm.Model, ks []int, count int, opt Options) ([]PassKReport, error) {
+	opt = opt.withDefaults()
+	if opt.Samples < 2 {
+		opt.Samples = 5
+	}
+	insts := LoadMachine(count)
+	if opt.Limit > 0 && opt.Limit < len(insts) {
+		insts = insts[:opt.Limit]
+	}
+	var reports []PassKReport
+	for _, m := range models {
+		rep := passKRun(m, len(insts), opt, ks, func(i, s int) Outcome {
+			in := insts[i]
+			p := llm.BuildMachinePrompt(in.ID, in.NL, 3, in.Reference)
+			resp := m.Generate(p, s)
+			return judgeTranslation(in.ID, resp, in.Reference, in.Sigs, opt.Budget)
+		})
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// passKRun samples n responses per instance and computes unbiased
+// pass@k per metric.
+func passKRun(m llm.Model, nInst int, opt Options, ks []int, eval func(i, s int) Outcome) PassKReport {
+	n := opt.Samples
+	outcomes := make([]Outcome, nInst*n)
+	parallelMap(len(outcomes), opt.Workers, func(idx int) {
+		outcomes[idx] = eval(idx/n, idx%n)
+	})
+	rep := PassKReport{
+		Model: m.Name(), N: n,
+		SyntaxK:  map[int]float64{},
+		FuncK:    map[int]float64{},
+		PartialK: map[int]float64{},
+	}
+	for _, k := range ks {
+		var sSum, fSum, pSum float64
+		for i := 0; i < nInst; i++ {
+			var sC, fC, pC int
+			for s := 0; s < n; s++ {
+				o := outcomes[i*n+s]
+				if o.Syntax {
+					sC++
+				}
+				if o.Full {
+					fC++
+				}
+				if o.Partial {
+					pC++
+				}
+			}
+			sSum += metrics.PassAtK(n, sC, k)
+			fSum += metrics.PassAtK(n, fC, k)
+			pSum += metrics.PassAtK(n, pC, k)
+		}
+		rep.SyntaxK[k] = sSum / float64(nInst)
+		rep.FuncK[k] = fSum / float64(nInst)
+		rep.PartialK[k] = pSum / float64(nInst)
+	}
+	return rep
+}
+
+// ---- Design2SVA ---------------------------------------------------------
+
+// DesignOutcome is the judged result of one Design2SVA response set.
+type DesignOutcome struct {
+	InstanceID string
+	// per-sample verdicts
+	Syntax []bool
+	Proven []bool
+}
+
+// DesignReport aggregates Design2SVA pass@k for one model and design
+// category.
+type DesignReport struct {
+	Model   string
+	Kind    string
+	N       int
+	SyntaxK map[int]float64
+	FuncK   map[int]float64
+}
+
+// RunDesign2SVA evaluates models on a design category with n samples
+// per instance (Table 5 halves).
+func RunDesign2SVA(models []llm.Model, kind string, opt Options) ([]DesignReport, error) {
+	opt = opt.withDefaults()
+	if opt.Samples < 2 {
+		opt.Samples = 5
+	}
+	insts := rtlgen.Sweep96(kind)
+	if opt.Limit > 0 && opt.Limit < len(insts) {
+		insts = insts[:opt.Limit]
+	}
+	n := opt.Samples
+	// identical snippets recur across samples and models; memoize the
+	// expensive elaborate+prove judgment per (instance, snippet)
+	type cell struct{ syntax, proven bool }
+	var cacheMu sync.Mutex
+	cache := map[string]cell{}
+	var reports []DesignReport
+	for _, m := range models {
+		cells := make([]cell, len(insts)*n)
+		parallelMap(len(cells), opt.Workers, func(idx int) {
+			i, s := idx/n, idx%n
+			inst := insts[i]
+			p := llm.BuildDesignPrompt(inst)
+			resp := m.Generate(p, s)
+			code := llm.ExtractCode(resp)
+			key := inst.ID + "\x00" + code
+			cacheMu.Lock()
+			c, ok := cache[key]
+			cacheMu.Unlock()
+			if !ok {
+				syn, prov := JudgeDesign(inst, code, opt.Budget)
+				c = cell{syn, prov}
+				cacheMu.Lock()
+				cache[key] = c
+				cacheMu.Unlock()
+			}
+			cells[idx] = c
+		})
+		rep := DesignReport{
+			Model: m.Name(), Kind: kind, N: n,
+			SyntaxK: map[int]float64{}, FuncK: map[int]float64{},
+		}
+		for _, k := range []int{1, 5} {
+			var sSum, fSum float64
+			for i := range insts {
+				var sC, fC int
+				for s := 0; s < n; s++ {
+					if cells[i*n+s].syntax {
+						sC++
+					}
+					if cells[i*n+s].proven {
+						fC++
+					}
+				}
+				sSum += metrics.PassAtK(n, sC, k)
+				fSum += metrics.PassAtK(n, fC, k)
+			}
+			rep.SyntaxK[k] = sSum / float64(len(insts))
+			rep.FuncK[k] = fSum / float64(len(insts))
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// JudgeDesign re-formats the testbench with the model's snippet,
+// elaborates the bound DUT+testbench system, and model-checks the
+// assertion — the paper's Design2SVA evaluation flow.
+func JudgeDesign(inst *rtlgen.Instance, snippet string, budget int64) (syntaxOK, proven bool) {
+	merged := insertBeforeEndmodule(inst.Bench, snippet)
+	f, err := rtl.Parse(inst.Design + "\n" + merged)
+	if err != nil {
+		return false, false
+	}
+	sys, err := rtl.ElaborateBound(f, inst.DUTTop, inst.BenchTop, nil)
+	if err != nil {
+		return false, false
+	}
+	if len(sys.Asserts) == 0 {
+		return false, false
+	}
+	// Validate every assertion's signals resolve (elaboration of the
+	// assertion itself happens inside the checker).
+	for _, a := range sys.Asserts {
+		if sva.Validate(a) != nil {
+			return false, false
+		}
+	}
+	syntaxOK = true
+	proven = true
+	for _, a := range sys.Asserts {
+		res, err := mc.CheckAssertion(sys, a, mc.Options{Budget: budget})
+		if err != nil {
+			return false, false // elaboration error inside the property
+		}
+		if res.Status != mc.Proven {
+			proven = false
+		}
+	}
+	return syntaxOK, proven
+}
+
+// insertBeforeEndmodule splices a snippet into the testbench body.
+func insertBeforeEndmodule(bench, snippet string) string {
+	idx := strings.LastIndex(bench, "endmodule")
+	if idx < 0 {
+		return bench + "\n" + snippet
+	}
+	return bench[:idx] + "\n" + snippet + "\n" + bench[idx:]
+}

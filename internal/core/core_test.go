@@ -1,0 +1,229 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fveval/internal/gen/rtlgen"
+	"fveval/internal/llm"
+)
+
+func TestLoadHuman(t *testing.T) {
+	insts, err := LoadHuman()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 79 {
+		t.Fatalf("instances: %d want 79", len(insts))
+	}
+	for _, in := range insts {
+		if in.Sigs == nil || len(in.Sigs.Widths) == 0 {
+			t.Fatalf("%s: missing signal environment", in.ID)
+		}
+	}
+}
+
+func TestLoadMachine(t *testing.T) {
+	insts := LoadMachine(30)
+	if len(insts) != 30 {
+		t.Fatalf("instances: %d", len(insts))
+	}
+}
+
+func TestJudgeTranslationClasses(t *testing.T) {
+	insts, err := LoadHuman()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := insts[0] // fifo underflow check
+	ref := in.Reference
+	// exact reference: full pass
+	o := judgeTranslation(in.ID, "```systemverilog\n"+ref.String()+"\n```", ref, in.Sigs, 0)
+	if !o.Syntax || !o.Full || !o.Partial {
+		t.Fatalf("reference must fully pass: %+v", o)
+	}
+	if o.BLEU < 0.9 {
+		t.Fatalf("reference BLEU: %f", o.BLEU)
+	}
+	// broken syntax
+	o = judgeTranslation(in.ID, "assert property (@(posedge clk) a |-> eventually(b));", ref, in.Sigs, 0)
+	if o.Syntax {
+		t.Fatalf("hallucinated operator must fail syntax")
+	}
+	// undeclared signal -> elaboration failure -> syntax fail
+	o = judgeTranslation(in.ID, "assert property (@(posedge clk) ghost |-> rd_pop);", ref, in.Sigs, 0)
+	if o.Syntax {
+		t.Fatalf("undeclared signal must fail syntax")
+	}
+	// weaker variant: partial only
+	o = judgeTranslation(in.ID,
+		"assert property (@(posedge clk) disable iff (tb_reset) (fifo_empty && rd_pop && wr_push) !== 1'b1);",
+		ref, in.Sigs, 0)
+	if !o.Syntax || o.Full || !o.Partial {
+		t.Fatalf("weakened variant must be partial: %+v", o)
+	}
+}
+
+func TestRunHumanSmall(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o"), llm.ModelByName("llama-3-8b")}
+	reports, err := RunNL2SVAHuman(models, Options{Limit: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports: %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.Count != 12 {
+			t.Fatalf("%s: count %d", r.Model, r.Count)
+		}
+		if r.Partial < r.Func {
+			t.Fatalf("%s: partial %f < func %f", r.Model, r.Partial, r.Func)
+		}
+		if r.Syntax < r.Partial {
+			t.Fatalf("%s: syntax %f < partial %f", r.Model, r.Syntax, r.Partial)
+		}
+	}
+	// the stronger model should not lose to the weakest by a wide
+	// margin on this slice
+	if reports[0].Func+0.3 < reports[1].Func {
+		t.Fatalf("gpt-4o proxy unexpectedly weak: %f vs %f", reports[0].Func, reports[1].Func)
+	}
+	out := FormatTable1(reports)
+	if !strings.Contains(out, "gpt-4o") {
+		t.Fatalf("table must mention models:\n%s", out)
+	}
+}
+
+func TestRunMachineSmallBothShots(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gemini-1.5-pro")}
+	zero, err := RunNL2SVAMachine(models, 0, 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := RunNL2SVAMachine(models, 3, 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gemini-1.5-pro has the paper's dramatic 0-shot -> 3-shot syntax
+	// jump (0.467 -> 0.880); with only 20 instances allow wide noise
+	// but demand an improvement.
+	if three[0].Syntax <= zero[0].Syntax {
+		t.Errorf("3-shot syntax (%f) must beat 0-shot (%f) for gemini-1.5-pro",
+			three[0].Syntax, zero[0].Syntax)
+	}
+	tbl := FormatTable3(zero, three)
+	if !strings.Contains(tbl, "gemini-1.5-pro") {
+		t.Fatalf("table 3 malformed:\n%s", tbl)
+	}
+}
+
+func TestPassKImprovesOverPass1(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o")}
+	reports, err := RunNL2SVAHumanPassK(models, []int{1, 3, 5}, Options{Limit: 15, Samples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	if r.FuncK[5] < r.FuncK[1] {
+		t.Errorf("func@5 (%f) must be >= func@1 (%f)", r.FuncK[5], r.FuncK[1])
+	}
+	if r.SyntaxK[5] < r.SyntaxK[1] {
+		t.Errorf("syntax@5 must be >= syntax@1")
+	}
+	if FormatTable2(reports) == "" {
+		t.Fatalf("table 2 must render")
+	}
+}
+
+func TestJudgeDesign(t *testing.T) {
+	inst := rtlgen.GenerateFSM(rtlgen.FSMParams{States: 4, Edges: 6, Width: 8, Complexity: 2, Seed: 9})
+	// ground-truth successor assertion must be provable
+	succ := inst.FSM.Succ[0]
+	body := "fsm_out == S0 |=> ("
+	for i, tgt := range succ {
+		if i > 0 {
+			body += " || "
+		}
+		body += "fsm_out == S" + string(rune('0'+tgt))
+	}
+	body += ")"
+	good := "assert property (@(posedge clk) disable iff (tb_reset) " + body + ");"
+	syn, proven := JudgeDesign(inst, good, 0)
+	if !syn || !proven {
+		t.Fatalf("ground-truth assertion: syntax=%v proven=%v\n%s", syn, proven, good)
+	}
+	// DUT-internal signal reference must fail syntax (elaboration)
+	bad := "assert property (@(posedge clk) disable iff (tb_reset) state == 'd0);"
+	syn, _ = JudgeDesign(inst, bad, 0)
+	if syn {
+		t.Fatalf("DUT-internal signal must fail elaboration")
+	}
+	// wrong successor claim parses but is not proven
+	wrong := "assert property (@(posedge clk) disable iff (tb_reset) fsm_out == S0 |=> (fsm_out == S0));"
+	if intNotIn(succ, 0) {
+		syn, proven = JudgeDesign(inst, wrong, 0)
+		if !syn {
+			t.Fatalf("wrong claim must still pass syntax")
+		}
+		if proven {
+			t.Fatalf("wrong claim must not be proven")
+		}
+	}
+}
+
+func intNotIn(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRunDesignSmall(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o")}
+	reports, err := RunDesign2SVA(models, "fsm", Options{Limit: 4, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	if r.SyntaxK[5] < r.SyntaxK[1] || r.FuncK[5] < r.FuncK[1] {
+		t.Fatalf("pass@5 must dominate pass@1: %+v", r)
+	}
+	if FormatTable5(reports, reports) == "" {
+		t.Fatalf("table 5 must render")
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	f2, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2, "Figure 2") {
+		t.Fatalf("figure 2 malformed")
+	}
+	if !strings.Contains(Figure3(30), "Figure 3") {
+		t.Fatalf("figure 3 malformed")
+	}
+	if !strings.Contains(Figure4(), "pipeline") {
+		t.Fatalf("figure 4 malformed")
+	}
+	f6, err := Figure6([]llm.Model{llm.ModelByName("gpt-4o")}, Options{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f6, "corr(BLEU, Func)") {
+		t.Fatalf("figure 6 malformed:\n%s", f6)
+	}
+}
+
+func TestTable6(t *testing.T) {
+	out := FormatTable6()
+	for _, want := range []string{"1R1W FIFO", "Arbiter", "79"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 6 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fveval/internal/dataset/human"
+	"fveval/internal/gen/rtlgen"
+	"fveval/internal/llm"
+	"fveval/internal/metrics"
+)
+
+// FormatTable1 renders NL2SVA-Human greedy results in the paper's
+// Table 1 layout.
+func FormatTable1(reports []ModelReport) string {
+	var b strings.Builder
+	b.WriteString("Table 1: NL2SVA-Human (greedy decoding)\n")
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s %8s\n", "Model", "Syntax", "Func.", "Partial", "BLEU")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-18s %8.3f %8.3f %8.3f %8.3f\n",
+			r.Model, r.Syntax, r.Func, r.Partial, r.BLEU)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders NL2SVA-Human pass@k (Table 2 layout).
+func FormatTable2(reports []PassKReport) string {
+	return formatPassK("Table 2: NL2SVA-Human pass@k (n=5 samples)", reports)
+}
+
+// FormatTable3 renders the 0-shot/3-shot machine comparison (Table 3).
+func FormatTable3(zeroShot, threeShot []ModelReport) string {
+	var b strings.Builder
+	b.WriteString("Table 3: NL2SVA-Machine (0-shot vs 3-shot)\n")
+	fmt.Fprintf(&b, "%-18s | %7s %7s %7s %7s | %7s %7s %7s %7s\n",
+		"Model", "Syn(0)", "Fun(0)", "Par(0)", "BLEU(0)", "Syn(3)", "Fun(3)", "Par(3)", "BLEU(3)")
+	byName := map[string]ModelReport{}
+	for _, r := range threeShot {
+		byName[r.Model] = r
+	}
+	for _, z := range zeroShot {
+		t := byName[z.Model]
+		fmt.Fprintf(&b, "%-18s | %7.3f %7.3f %7.3f %7.3f | %7.3f %7.3f %7.3f %7.3f\n",
+			z.Model, z.Syntax, z.Func, z.Partial, z.BLEU, t.Syntax, t.Func, t.Partial, t.BLEU)
+	}
+	return b.String()
+}
+
+// FormatTable4 renders machine pass@k (Table 4 layout).
+func FormatTable4(reports []PassKReport) string {
+	return formatPassK("Table 4: NL2SVA-Machine pass@k (3-shot, n=5 samples)", reports)
+}
+
+func formatPassK(title string, reports []PassKReport) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-18s %9s %8s %8s %10s %10s\n",
+		"Model", "Syntax@5", "Func.@3", "Func.@5", "Partial.@3", "Partial.@5")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-18s %9.3f %8.3f %8.3f %10.3f %10.3f\n",
+			r.Model, r.SyntaxK[5], r.FuncK[3], r.FuncK[5], r.PartialK[3], r.PartialK[5])
+	}
+	return b.String()
+}
+
+// FormatTable5 renders Design2SVA results (Table 5 layout).
+func FormatTable5(pipeline, fsm []DesignReport) string {
+	var b strings.Builder
+	b.WriteString("Table 5: Design2SVA\n")
+	fmt.Fprintf(&b, "%-18s | %8s %8s %7s %7s | %8s %8s %7s %7s\n",
+		"Model", "P:Syn@1", "P:Syn@5", "P:Fn@1", "P:Fn@5",
+		"F:Syn@1", "F:Syn@5", "F:Fn@1", "F:Fn@5")
+	byName := map[string]DesignReport{}
+	for _, r := range fsm {
+		byName[r.Model] = r
+	}
+	for _, p := range pipeline {
+		f := byName[p.Model]
+		fmt.Fprintf(&b, "%-18s | %8.3f %8.3f %7.3f %7.3f | %8.3f %8.3f %7.3f %7.3f\n",
+			p.Model, p.SyntaxK[1], p.SyntaxK[5], p.FuncK[1], p.FuncK[5],
+			f.SyntaxK[1], f.SyntaxK[5], f.FuncK[1], f.FuncK[5])
+	}
+	return b.String()
+}
+
+// FormatTable6 renders the NL2SVA-Human dataset statistics.
+func FormatTable6() string {
+	var b strings.Builder
+	b.WriteString("Table 6: NL2SVA-Human composition\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s\n", "Name", "# Variations", "# Assertions")
+	stats := human.Stats()
+	totalV, totalA := 0, 0
+	for _, cat := range human.Categories {
+		v := stats[cat]
+		fmt.Fprintf(&b, "%-18s %12d %12d\n", cat, v[0], v[1])
+		totalV += v[0]
+		totalA += v[1]
+	}
+	fmt.Fprintf(&b, "%-18s %12d %12d\n", "Total", totalV, totalA)
+	return b.String()
+}
+
+// Figure2 reports the token-length distributions of the NL
+// specifications and reference assertions in NL2SVA-Human.
+func Figure2() (string, error) {
+	insts, err := LoadHuman()
+	if err != nil {
+		return "", err
+	}
+	var nlLens, svaLens []float64
+	for _, in := range insts {
+		nlLens = append(nlLens, float64(metrics.CountTokens(in.NL)))
+		svaLens = append(svaLens, float64(metrics.CountTokens(in.Reference.String())))
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2 (right): NL2SVA-Human token-length distributions\n")
+	b.WriteString("NL specification lengths:\n")
+	b.WriteString(metrics.NewHistogram(nlLens, 8).Render())
+	b.WriteString("Reference SVA lengths:\n")
+	b.WriteString(metrics.NewHistogram(svaLens, 8).Render())
+	return b.String(), nil
+}
+
+// Figure3 reports the machine benchmark's length distributions.
+func Figure3(count int) string {
+	insts := LoadMachine(count)
+	var nlLens, svaLens []float64
+	for _, in := range insts {
+		nlLens = append(nlLens, float64(metrics.CountTokens(in.NL)))
+		svaLens = append(svaLens, float64(metrics.CountTokens(in.Reference.String())))
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3 (right): NL2SVA-Machine token-length distributions\n")
+	b.WriteString("NL description lengths:\n")
+	b.WriteString(metrics.NewHistogram(nlLens, 8).Render())
+	b.WriteString("Reference SVA lengths:\n")
+	b.WriteString(metrics.NewHistogram(svaLens, 8).Render())
+	return b.String()
+}
+
+// Figure4 reports the generated-RTL length distributions for both
+// Design2SVA categories.
+func Figure4() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: synthetic RTL token-length distributions\n")
+	for _, kind := range []string{"pipeline", "fsm"} {
+		var lens []float64
+		for _, inst := range rtlgen.Sweep96(kind) {
+			lens = append(lens, float64(metrics.CountTokens(inst.Design)))
+		}
+		b.WriteString(kind + " design lengths:\n")
+		b.WriteString(metrics.NewHistogram(lens, 8).Render())
+	}
+	return b.String()
+}
+
+// Figure6 reproduces the BLEU-vs-functional-correctness correlation
+// analysis for the given models (the paper uses gpt-4o and
+// llama-3.1-70b).
+func Figure6(models []llm.Model, opt Options) (string, error) {
+	reports, err := RunNL2SVAHuman(models, opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 6: BLEU vs formal functional equivalence (NL2SVA-Human)\n")
+	for _, r := range reports {
+		var xs, ys []float64
+		for _, o := range r.Outcomes {
+			xs = append(xs, o.BLEU)
+			if o.Full {
+				ys = append(ys, 1)
+			} else {
+				ys = append(ys, 0)
+			}
+		}
+		corr := metrics.Pearson(xs, ys)
+		fmt.Fprintf(&b, "%-18s corr(BLEU, Func) = %+.4f over %d instances\n",
+			r.Model, corr, len(xs))
+	}
+	b.WriteString("(low correlation reproduces the paper's finding that BLEU does not capture formal equivalence)\n")
+	return b.String(), nil
+}
+
+// SortReports orders model reports by Func descending for stable
+// display.
+func SortReports(rs []ModelReport) {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Func > rs[j].Func })
+}

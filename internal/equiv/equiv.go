@@ -1,0 +1,441 @@
+// Package equiv decides formal equivalence and implication between
+// pairs of SVA assertions — the role played by the custom Cadence
+// Jasper function in the paper's evaluation flow (§3.2). Signals are
+// treated as unconstrained inputs of their declared widths; two
+// assertions are compared per evaluation attempt over all infinite
+// (ultimately periodic) traces.
+//
+// Verdicts mirror the paper's metrics: Equivalent feeds the Func
+// metric; either implication direction additionally feeds the
+// Partial-Func metric.
+package equiv
+
+import (
+	"fmt"
+	"sort"
+
+	"fveval/internal/bitvec"
+	"fveval/internal/logic"
+	"fveval/internal/ltl"
+	"fveval/internal/sat"
+	"fveval/internal/sva"
+)
+
+// Verdict classifies a pair of assertions.
+type Verdict int
+
+// Verdict values.
+const (
+	Inequivalent Verdict = iota
+	Equivalent
+	AImpliesB // every trace satisfying A satisfies B
+	BImpliesA
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case AImpliesB:
+		return "A=>B"
+	case BImpliesA:
+		return "B=>A"
+	}
+	return "inequivalent"
+}
+
+// Sigs declares the signal environment both assertions are interpreted
+// in: signal widths plus named constants (parameters).
+type Sigs struct {
+	Widths map[string]int
+	Consts map[string]ltl.ConstVal
+}
+
+// Options tunes the checker.
+type Options struct {
+	// MaxBound caps the lasso length K (0 = default 16).
+	MaxBound int
+	// Bound, when positive, forces the lasso length K exactly
+	// (clamped to the formula depth + 1); used by bound-sweep
+	// ablations.
+	Bound int
+	// Budget caps SAT conflicts per direction (0 = unlimited).
+	Budget int64
+}
+
+// Trace is a decoded counterexample: signal values per position with a
+// loop back-edge from the last position to Loop.
+type Trace struct {
+	Loop    int
+	Len     int
+	Signals map[string][]uint64
+}
+
+// String renders the trace as a small table.
+func (t *Trace) String() string {
+	var names []string
+	for n := range t.Signals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("lasso: %d positions, loop->%d\n", t.Len, t.Loop)
+	for _, n := range names {
+		s += fmt.Sprintf("  %-16s", n)
+		for _, v := range t.Signals[n] {
+			s += fmt.Sprintf(" %d", v)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Result reports the verdict with witnesses for the failed directions.
+type Result struct {
+	Verdict Verdict
+	// AB is a witness trace satisfying A but not B (present when A
+	// does not imply B); BA likewise.
+	AB, BA *Trace
+	// Bound is the lasso length used.
+	Bound int
+}
+
+// Check decides the relationship between two assertions.
+func Check(a, b *sva.Assertion, sigs *Sigs, opt Options) (Result, error) {
+	// Clock compatibility: assertion equivalence is defined relative to
+	// a common clocking event.
+	if a.ClockEdge != b.ClockEdge {
+		return Result{Verdict: Inequivalent}, nil
+	}
+
+	fa, err := ltl.LowerAssertion(a)
+	if err != nil {
+		return Result{}, err
+	}
+	fb, err := ltl.LowerAssertion(b)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Reconcile disable-iff conditions (see DESIGN.md §4): equal
+	// conditions reduce the comparison to abort-free traces; a missing
+	// condition on one side can only weaken verdicts toward the
+	// implication from the stronger (undisabled) assertion.
+	condRel, err := disableRelation(a.DisableIff, b.DisableIff, sigs, opt)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res, err := checkFormulas(fa, fb, sigs, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Verdict = combineDisable(res.Verdict, condRel)
+	return res, nil
+}
+
+// CheckProperties compares two bare properties (no clocking or disable
+// handling) — used by tests and the model checker.
+func CheckProperties(pa, pb sva.Property, sigs *Sigs, opt Options) (Result, error) {
+	fa, err := ltl.LowerProperty(pa)
+	if err != nil {
+		return Result{}, err
+	}
+	fb, err := ltl.LowerProperty(pb)
+	if err != nil {
+		return Result{}, err
+	}
+	return checkFormulas(fa, fb, sigs, opt)
+}
+
+// disable relation outcomes.
+type disableRel int
+
+const (
+	disSame    disableRel = iota // both absent or provably equivalent
+	disOnlyA                     // only A is disable-guarded
+	disOnlyB                     // only B is disable-guarded
+	disDiffers                   // both present but inequivalent
+)
+
+func disableRelation(da, db sva.Expr, sigs *Sigs, opt Options) (disableRel, error) {
+	switch {
+	case da == nil && db == nil:
+		return disSame, nil
+	case da != nil && db == nil:
+		return disOnlyA, nil
+	case da == nil && db != nil:
+		return disOnlyB, nil
+	}
+	eq, err := boolExprEquivalent(da, db, sigs, opt)
+	if err != nil {
+		return disSame, err
+	}
+	if eq {
+		return disSame, nil
+	}
+	return disDiffers, nil
+}
+
+// combineDisable folds the disable-iff relationship into the body
+// verdict. With equal conditions the body verdict stands (aborted
+// attempts satisfy both assertions identically). When only one side is
+// guarded, the unguarded assertion is strictly stronger on aborting
+// traces, so only implications from it survive.
+func combineDisable(body Verdict, rel disableRel) Verdict {
+	switch rel {
+	case disSame:
+		return body
+	case disOnlyA:
+		// B (unguarded) is stronger: B=>A can survive; A=>B cannot.
+		if body == Equivalent || body == BImpliesA {
+			return BImpliesA
+		}
+		return Inequivalent
+	case disOnlyB:
+		if body == Equivalent || body == AImpliesB {
+			return AImpliesB
+		}
+		return Inequivalent
+	}
+	return Inequivalent
+}
+
+// boolExprEquivalent SAT-checks two boolean-layer expressions for
+// functional equality over free signals.
+func boolExprEquivalent(x, y sva.Expr, sigs *Sigs, opt Options) (bool, error) {
+	b := logic.NewBuilder()
+	env := ltl.NewTraceEnv(b, sigs.Widths, sigs.Consts)
+	ev := &ltl.ExprEval{Ops: bitvec.Ops{B: b}, Env: env}
+	nx, err := ev.Bool(x, 0)
+	if err != nil {
+		return false, err
+	}
+	ny, err := ev.Bool(y, 0)
+	if err != nil {
+		return false, err
+	}
+	diff := b.Xor(nx, ny)
+	s := sat.New()
+	if opt.Budget > 0 {
+		s.SetBudget(opt.Budget)
+	}
+	cnf := logic.NewCNF(b, s)
+	cnf.Assert(diff)
+	satisfiable, err := s.Solve()
+	if err != nil {
+		return false, err
+	}
+	return !satisfiable, nil
+}
+
+func checkFormulas(fa, fb ltl.Formula, sigs *Sigs, opt Options) (Result, error) {
+	depth := ltl.Depth(fa)
+	if d := ltl.Depth(fb); d > depth {
+		depth = d
+	}
+	k := depth + 4
+	if k < 8 {
+		k = 8
+	}
+	maxB := opt.MaxBound
+	if maxB == 0 {
+		maxB = 16
+	}
+	if k > maxB {
+		k = maxB
+	}
+	if opt.Bound > 0 {
+		k = opt.Bound
+	}
+	if k <= depth {
+		k = depth + 1 // always give the formula room to evaluate
+	}
+
+	usesPast := ltl.UsesPast(fa) || ltl.UsesPast(fb)
+	unbounded := ltl.HasUnbounded(fa) || ltl.HasUnbounded(fb)
+
+	abTrace, err := findWitness(fa, fb, sigs, k, usesPast, unbounded, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	baTrace, err := findWitness(fb, fa, sigs, k, usesPast, unbounded, opt)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{AB: abTrace, BA: baTrace, Bound: k}
+	switch {
+	case abTrace == nil && baTrace == nil:
+		res.Verdict = Equivalent
+	case abTrace == nil:
+		res.Verdict = AImpliesB
+	case baTrace == nil:
+		res.Verdict = BImpliesA
+	default:
+		res.Verdict = Inequivalent
+	}
+	return res, nil
+}
+
+// findWitness searches for a lasso trace satisfying f but violating g.
+// nil result means no witness up to the bound (f implies g).
+func findWitness(f, g ltl.Formula, sigs *Sigs, k int, usesPast, unbounded bool, opt Options) (*Trace, error) {
+	b := logic.NewBuilder()
+	env := ltl.NewTraceEnv(b, sigs.Widths, sigs.Consts)
+	ev := &ltl.ExprEval{Ops: bitvec.Ops{B: b}, Env: env}
+
+	names := unionNames(f, g)
+
+	// Candidate loop positions. Pure bounded-future formulas are
+	// insensitive to the loop, one suffices.
+	var loops []int
+	switch {
+	case !unbounded && !usesPast:
+		loops = []int{k - 1}
+	case usesPast:
+		for l := 1; l < k; l++ {
+			loops = append(loops, l)
+		}
+	default:
+		for l := 0; l < k; l++ {
+			loops = append(loops, l)
+		}
+	}
+
+	perLoop := make(map[int]logic.Node)
+	total := logic.False
+	for _, l := range loops {
+		le := ltl.NewLassoEval(ev, k, l)
+		tf, err := le.Truth(f, 0)
+		if err != nil {
+			return nil, err
+		}
+		tg, err := le.Truth(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		viol := b.And(tf, tg.Not())
+		if usesPast && l >= 1 {
+			// Seam consistency: past references at the loop entry must
+			// agree between the first and repeated loop traversals.
+			viol = b.And(viol, seamConstraint(b, env, ev, names, l, k))
+		}
+		perLoop[l] = viol
+		total = b.Or(total, viol)
+	}
+
+	s := sat.New()
+	if opt.Budget > 0 {
+		s.SetBudget(opt.Budget)
+	}
+	cnf := logic.NewCNF(b, s)
+	cnf.Assert(total)
+	ok, model, err := s.SolveModel()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return decodeTrace(b, env, cnf, model, names, sigs, k, perLoop), nil
+}
+
+func seamConstraint(b *logic.Builder, env *ltl.TraceEnv, ev *ltl.ExprEval, names []string, l, k int) logic.Node {
+	acc := logic.True
+	ops := bitvec.Ops{B: b}
+	for _, n := range names {
+		prev, err1 := env.Signal(n, l-1)
+		last, err2 := env.Signal(n, k-1)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		acc = b.And(acc, ops.Eq(prev, last))
+	}
+	return acc
+}
+
+func unionNames(f, g ltl.Formula) []string {
+	set := map[string]bool{}
+	for _, n := range ltl.SignalNames(f) {
+		set[n] = true
+	}
+	for _, n := range ltl.SignalNames(g) {
+		set[n] = true
+	}
+	var out []string
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func decodeTrace(b *logic.Builder, env *ltl.TraceEnv, cnf *logic.CNF,
+	model []bool, names []string, sigs *Sigs, k int, perLoop map[int]logic.Node) *Trace {
+
+	// Build an input assignment for circuit evaluation.
+	assign := map[logic.Node]bool{}
+	for _, n := range names {
+		for pos := 0; pos < k; pos++ {
+			if bv, ok := env.At(n, pos); ok {
+				for _, bit := range bv.Bits {
+					if !bit.IsConst() {
+						assign[bit] = cnf.InputValue(model, bit)
+					}
+				}
+			}
+		}
+	}
+
+	tr := &Trace{Loop: -1, Len: k, Signals: map[string][]uint64{}}
+	cache := map[int32]bool{}
+	for l, viol := range perLoop {
+		if b.Eval(viol, assign, cache) {
+			tr.Loop = l
+			break
+		}
+	}
+	for _, n := range names {
+		vals := make([]uint64, k)
+		for pos := 0; pos < k; pos++ {
+			if bv, ok := env.At(n, pos); ok {
+				var v uint64
+				for i, bit := range bv.Bits {
+					bval := false
+					if bit.IsConst() {
+						bval = bit == logic.True
+					} else {
+						bval = assign[bit]
+					}
+					if bval && i < 64 {
+						v |= 1 << uint(i)
+					}
+				}
+				vals[pos] = v
+			}
+		}
+		tr.Signals[n] = vals
+	}
+	return tr
+}
+
+// DefaultMachineSigs is the symbolic signal environment of the
+// NL2SVA-Machine benchmark: sig_A..sig_J where a subset are multi-bit
+// vectors (so reduction operators and $countones are meaningful).
+func DefaultMachineSigs() *Sigs {
+	w := map[string]int{
+		"clk":      1,
+		"tb_reset": 1,
+		"sig_A":    4,
+		"sig_B":    4,
+		"sig_C":    4,
+		"sig_D":    1,
+		"sig_E":    1,
+		"sig_F":    1,
+		"sig_G":    4,
+		"sig_H":    4,
+		"sig_I":    1,
+		"sig_J":    1,
+	}
+	return &Sigs{Widths: w, Consts: map[string]ltl.ConstVal{}}
+}

@@ -1,0 +1,254 @@
+package equiv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fveval/internal/bitvec"
+	"fveval/internal/gen/svagen"
+	"fveval/internal/logic"
+	"fveval/internal/ltl"
+	"fveval/internal/sva"
+)
+
+// Metamorphic properties of the equivalence checker over the machine
+// benchmark's randomly generated assertions: known-direction rewrites
+// must always produce the expected verdict class.
+
+func machineAssertion(seed int64) *sva.Assertion {
+	return svagen.Generate(seed).Reference
+}
+
+func TestQuickReflexivity(t *testing.T) {
+	sigs := DefaultMachineSigs()
+	f := func(seedRaw uint16) bool {
+		a := machineAssertion(int64(seedRaw) + 1)
+		res, err := Check(a, a, sigs, Options{})
+		if err != nil {
+			return false
+		}
+		return res.Verdict == Equivalent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVerdictSymmetry(t *testing.T) {
+	// Check(a, b) and Check(b, a) must be mirror verdicts.
+	sigs := DefaultMachineSigs()
+	f := func(s1, s2 uint16) bool {
+		a := machineAssertion(int64(s1) + 1)
+		b := machineAssertion(int64(s2) + 500)
+		r1, err1 := Check(a, b, sigs, Options{})
+		r2, err2 := Check(b, a, sigs, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		switch r1.Verdict {
+		case Equivalent:
+			return r2.Verdict == Equivalent
+		case Inequivalent:
+			return r2.Verdict == Inequivalent
+		case AImpliesB:
+			return r2.Verdict == BImpliesA
+		default:
+			return r2.Verdict == AImpliesB
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConjunctionStrengthens(t *testing.T) {
+	// For any boolean-bodied assertion A with body e, the assertion
+	// with body (e && sig_E) must imply A.
+	sigs := DefaultMachineSigs()
+	f := func(seedRaw uint16) bool {
+		a := machineAssertion(int64(seedRaw)*3 + 7)
+		body, ok := a.Body.(*sva.PropSeq)
+		if !ok {
+			return true // only boolean-bodied instances
+		}
+		se, ok := body.S.(*sva.SeqExpr)
+		if !ok {
+			return true
+		}
+		stronger := a.Clone()
+		stronger.Body = &sva.PropSeq{S: &sva.SeqExpr{E: &sva.Binary{
+			Op: "&&", X: sva.CloneExpr(se.E), Y: &sva.Ident{Name: "sig_E"},
+		}}}
+		res, err := Check(stronger, a, sigs, Options{})
+		if err != nil {
+			return false
+		}
+		// stronger implies original: A=>B, or Equivalent when e
+		// already forces sig_E (possible for degenerate bodies).
+		return res.Verdict == AImpliesB || res.Verdict == Equivalent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDoubleNegationPreserves(t *testing.T) {
+	sigs := DefaultMachineSigs()
+	f := func(seedRaw uint16) bool {
+		a := machineAssertion(int64(seedRaw)*5 + 11)
+		body, ok := a.Body.(*sva.PropSeq)
+		if !ok {
+			return true
+		}
+		se, ok := body.S.(*sva.SeqExpr)
+		if !ok {
+			return true
+		}
+		dn := a.Clone()
+		dn.Body = &sva.PropSeq{S: &sva.SeqExpr{E: &sva.Unary{
+			Op: "!", X: &sva.Unary{Op: "!", X: sva.CloneExpr(se.E)},
+		}}}
+		res, err := Check(dn, a, sigs, Options{})
+		if err != nil {
+			return false
+		}
+		return res.Verdict == Equivalent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDelayNarrowingImplies(t *testing.T) {
+	// a |-> ##[lo:hi] b narrowed to ##lo must imply the original.
+	sigs := DefaultMachineSigs()
+	rng := rand.New(rand.NewSource(5))
+	checked := 0
+	for seed := int64(1); seed < 400 && checked < 15; seed++ {
+		a := machineAssertion(seed)
+		impl, ok := a.Body.(*sva.PropImpl)
+		if !ok {
+			continue
+		}
+		ps, ok := impl.P.(*sva.PropSeq)
+		if !ok {
+			continue
+		}
+		sd, ok := ps.S.(*sva.SeqDelay)
+		if !ok || sd.D.Inf || sd.D.Lo == sd.D.Hi {
+			continue
+		}
+		checked++
+		narrowed := a.Clone()
+		nImpl := narrowed.Body.(*sva.PropImpl)
+		nSd := nImpl.P.(*sva.PropSeq).S.(*sva.SeqDelay)
+		nSd.D.Hi = nSd.D.Lo
+		res, err := Check(narrowed, a, sigs, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Verdict != AImpliesB && res.Verdict != Equivalent {
+			t.Fatalf("seed %d: narrowed delay must imply original, got %v\nA: %s\nB: %s",
+				seed, res.Verdict, narrowed, a)
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("too few delay-range instances exercised: %d", checked)
+	}
+	_ = rng
+}
+
+func TestQuickNegationInequivalent(t *testing.T) {
+	// not(A) is never equivalent to A (bodies are satisfiable and
+	// falsifiable for generated instances).
+	sigs := DefaultMachineSigs()
+	f := func(seedRaw uint16) bool {
+		a := machineAssertion(int64(seedRaw)*7 + 3)
+		neg := a.Clone()
+		neg.Body = &sva.PropNot{P: sva.CloneProp(a.Body)}
+		res, err := Check(neg, a, sigs, Options{})
+		if err != nil {
+			return false
+		}
+		return res.Verdict != Equivalent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWitnessTracesAreSound replays every counterexample the checker
+// returns: evaluating both formulas on the decoded lasso must confirm
+// the separating verdict (A holds, B fails). This closes the loop on
+// the SAT encoding, the lasso evaluator, and the trace decoder.
+func TestWitnessTracesAreSound(t *testing.T) {
+	sigs := DefaultMachineSigs()
+	checked := 0
+	for seed := int64(1); seed < 160 && checked < 25; seed++ {
+		a := machineAssertion(seed)
+		b := machineAssertion(seed + 1000)
+		res, err := Check(a, b, sigs, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.AB != nil {
+			checked++
+			replayWitness(t, a, b, res.AB, sigs)
+		}
+		if res.BA != nil {
+			replayWitness(t, b, a, res.BA, sigs)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("too few witnesses exercised: %d", checked)
+	}
+}
+
+// replayWitness checks that trace satisfies holds and violates fails.
+func replayWitness(t *testing.T, holds, fails *sva.Assertion, tr *Trace, sigs *Sigs) {
+	t.Helper()
+	fh, err := ltl.LowerAssertion(holds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := ltl.LowerAssertion(fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := logic.NewBuilder()
+	env := ltl.NewTraceEnv(b, sigs.Widths, sigs.Consts)
+	ev := &ltl.ExprEval{Ops: bitvec.Ops{B: b}, Env: env}
+	le := ltl.NewLassoEval(ev, tr.Len, tr.Loop)
+	nh, err := le.Truth(fh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := le.Truth(ff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := map[logic.Node]bool{}
+	for name, vals := range tr.Signals {
+		for pos, v := range vals {
+			bv, err := env.Signal(name, pos)
+			if err != nil {
+				continue
+			}
+			for i, bit := range bv.Bits {
+				if !bit.IsConst() {
+					assign[bit] = v&(1<<uint(i)) != 0
+				}
+			}
+		}
+	}
+	cache := map[int32]bool{}
+	if !b.Eval(nh, assign, cache) {
+		t.Fatalf("witness does not satisfy the holding assertion\n%s\nholds: %s\nfails: %s",
+			tr, holds, fails)
+	}
+	if b.Eval(nf, assign, cache) {
+		t.Fatalf("witness does not violate the failing assertion\n%s\nholds: %s\nfails: %s",
+			tr, holds, fails)
+	}
+}

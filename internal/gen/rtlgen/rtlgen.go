@@ -1,0 +1,375 @@
+// Package rtlgen generates the synthetic Design2SVA test instances:
+// parameterized arithmetic pipelines and finite-state machines plus
+// matching formal testbench headers, following the paper's §3.4 and
+// Appendix C. Every generated design elaborates with package rtl, and
+// the returned ground-truth structure lets evaluation harnesses and
+// model proxies construct provable reference assertions.
+package rtlgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// PipelineParams are the control parameters from Figure 4: number of
+// execution units, total pipeline depth, data width, and the
+// complexity (operator count) of each unit's combinational logic.
+type PipelineParams struct {
+	Units      int
+	Depth      int // total depth, split across units
+	Width      int
+	Complexity int // operators per stage transform
+	Seed       int64
+}
+
+// FSMParams control FSM generation: state count, transition (edge)
+// count, input width, and condition complexity.
+type FSMParams struct {
+	States     int
+	Edges      int
+	Width      int
+	Complexity int
+	Seed       int64
+}
+
+// Instance is one generated test case.
+type Instance struct {
+	ID       string
+	Kind     string // "pipeline" or "fsm"
+	Design   string // DUT SystemVerilog
+	Bench    string // testbench header SystemVerilog
+	DUTTop   string
+	BenchTop string
+
+	// Ground truth for proxy models and reference checks.
+	Pipeline *PipelineTruth
+	FSM      *FSMTruth
+}
+
+// PipelineTruth describes the generated pipeline.
+type PipelineTruth struct {
+	Depth int
+	Width int
+}
+
+// FSMTruth describes the generated FSM: successor sets per state.
+type FSMTruth struct {
+	NumStates  int
+	StateWidth int
+	Succ       map[int][]int // state -> possible next states
+}
+
+// Reachable returns the states reachable from the reset state S0, in
+// BFS order. Assertions about unreachable states are vacuously proven,
+// so evaluation harnesses and proxies restrict themselves to this set.
+func (t *FSMTruth) Reachable() []int {
+	seen := map[int]bool{0: true}
+	order := []int{0}
+	for i := 0; i < len(order); i++ {
+		for _, nxt := range t.Succ[order[i]] {
+			if !seen[nxt] {
+				seen[nxt] = true
+				order = append(order, nxt)
+			}
+		}
+	}
+	return order
+}
+
+// GeneratePipeline emits a pipeline design and testbench header.
+func GeneratePipeline(p PipelineParams) *Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.Units < 1 {
+		p.Units = 1
+	}
+	if p.Depth < p.Units {
+		p.Depth = p.Units
+	}
+	// split depth across units
+	depths := make([]int, p.Units)
+	remaining := p.Depth
+	for i := range depths {
+		depths[i] = 1
+		remaining--
+	}
+	for remaining > 0 {
+		depths[rng.Intn(p.Units)]++
+		remaining--
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "`define WIDTH %d\n`define DEPTH %d\n\n", p.Width, p.Depth)
+	for u := 0; u < p.Units; u++ {
+		fmt.Fprintf(&b, "module exec_unit_%d (\n  clk,\n  reset_,\n  in_data,\n  in_vld,\n  out_data,\n  out_vld\n);\n", u)
+		fmt.Fprintf(&b, "parameter WIDTH = `WIDTH;\nlocalparam DEPTH = %d;\n", depths[u])
+		b.WriteString("input clk;\ninput reset_;\n")
+		b.WriteString("input [WIDTH-1:0] in_data;\ninput in_vld;\n")
+		b.WriteString("output [WIDTH-1:0] out_data;\noutput out_vld;\n")
+		b.WriteString("logic [DEPTH:0] ready;\nlogic [DEPTH:0][WIDTH-1:0] data;\n")
+		b.WriteString("assign ready[0] = in_vld;\nassign data[0] = in_data;\n")
+		b.WriteString("assign out_vld = ready[DEPTH];\nassign out_data = data[DEPTH];\n")
+		b.WriteString("generate\nfor (genvar i=0; i < DEPTH; i=i+1) begin : gen\n")
+		b.WriteString("  always @(posedge clk) begin\n")
+		b.WriteString("    if (!reset_) begin\n      ready[i+1] <= 'd0;\n      data[i+1] <= 'd0;\n    end else begin\n")
+		b.WriteString("      ready[i+1] <= ready[i];\n")
+		fmt.Fprintf(&b, "      data[i+1] <= %s;\n", randomTransform(rng, "data[i]", p.Complexity))
+		b.WriteString("    end\n  end\nend\nendgenerate\nendmodule\n\n")
+	}
+	// top pipeline chaining units
+	b.WriteString("module pipeline (\n  clk,\n  reset_,\n  in_vld,\n  in_data,\n  out_vld,\n  out_data\n);\n")
+	b.WriteString("parameter WIDTH=`WIDTH;\nparameter DEPTH=`DEPTH;\n")
+	b.WriteString("input clk;\ninput reset_;\ninput in_vld;\ninput [WIDTH-1:0] in_data;\n")
+	b.WriteString("output out_vld;\noutput [WIDTH-1:0] out_data;\n")
+	b.WriteString("wire [DEPTH:0] ready;\nwire [DEPTH:0][WIDTH-1:0] data;\n")
+	b.WriteString("assign ready[0] = in_vld;\nassign data[0] = in_data;\n")
+	b.WriteString("assign out_vld = ready[DEPTH];\nassign out_data = data[DEPTH];\n")
+	at := 0
+	for u := 0; u < p.Units; u++ {
+		nxt := at + depths[u]
+		fmt.Fprintf(&b, "exec_unit_%d #(.WIDTH(WIDTH)) unit_%d (\n", u, u)
+		b.WriteString("  .clk(clk),\n  .reset_(reset_),\n")
+		fmt.Fprintf(&b, "  .in_data(data[%d]),\n  .in_vld(ready[%d]),\n", at, at)
+		fmt.Fprintf(&b, "  .out_data(data[%d]),\n  .out_vld(ready[%d])\n);\n", nxt, nxt)
+		at = nxt
+	}
+	b.WriteString("endmodule\n")
+
+	bench := fmt.Sprintf("`define WIDTH %d\n`define DEPTH %d\n\n", p.Width, p.Depth) +
+		`module pipeline_tb (
+  clk,
+  reset_,
+  in_vld,
+  in_data,
+  out_vld,
+  out_data
+);
+parameter WIDTH=` + "`WIDTH" + `;
+parameter DEPTH=` + "`DEPTH" + `;
+input clk;
+input reset_;
+input in_vld;
+input [WIDTH-1:0] in_data;
+input out_vld;
+input [WIDTH-1:0] out_data;
+wire tb_reset;
+assign tb_reset = (reset_ == 1'b0);
+endmodule
+`
+	return &Instance{
+		ID:       fmt.Sprintf("pipeline_nu_%d_dp_%d_wd_%d_cx_%d_%d", p.Units, p.Depth, p.Width, p.Complexity, p.Seed),
+		Kind:     "pipeline",
+		Design:   b.String(),
+		Bench:    bench,
+		DUTTop:   "pipeline",
+		BenchTop: "pipeline_tb",
+		Pipeline: &PipelineTruth{Depth: p.Depth, Width: p.Width},
+	}
+}
+
+// randomTransform builds a random arithmetic/logic expression over the
+// input term, as in the paper's execution-unit bodies.
+func randomTransform(rng *rand.Rand, term string, complexity int) string {
+	ops := []string{"^", "+", "-", "&", "|"}
+	shifts := []string{"<<<", ">>>", ">>"}
+	expr := term
+	if complexity < 1 {
+		complexity = 1
+	}
+	for i := 0; i < complexity; i++ {
+		c := rng.Intn(10)
+		switch rng.Intn(4) {
+		case 0:
+			expr = fmt.Sprintf("(%s %s %d)", expr, ops[rng.Intn(len(ops))], c)
+		case 1:
+			expr = fmt.Sprintf("(%s %s %d)", expr, shifts[rng.Intn(len(shifts))], 1+rng.Intn(7))
+		case 2:
+			expr = fmt.Sprintf("((%s %s %d) %s (%s %s %d))",
+				term, ops[rng.Intn(len(ops))], c,
+				ops[rng.Intn(len(ops))],
+				expr, ops[rng.Intn(len(ops))], rng.Intn(10))
+		default:
+			expr = fmt.Sprintf("(%s %s (%s %s %d))",
+				expr, ops[rng.Intn(len(ops))], term, shifts[rng.Intn(len(shifts))], 1+rng.Intn(7))
+		}
+	}
+	return expr
+}
+
+// GenerateFSM emits an FSM design and testbench header.
+func GenerateFSM(p FSMParams) *Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.States < 2 {
+		p.States = 2
+	}
+	sw := 1
+	for (1 << uint(sw)) < p.States {
+		sw++
+	}
+	inputs := []string{"in_A", "in_B", "in_C", "in_D"}
+
+	// Build a transition structure: every state gets at least one
+	// successor; extra edges add conditional branches.
+	succ := map[int][]int{}
+	for s := 0; s < p.States; s++ {
+		succ[s] = []int{rng.Intn(p.States)}
+	}
+	extra := p.Edges - p.States
+	for extra > 0 {
+		s := rng.Intn(p.States)
+		t := rng.Intn(p.States)
+		if len(succ[s]) < 3 && !contains(succ[s], t) {
+			succ[s] = append(succ[s], t)
+			extra--
+			continue
+		}
+		extra--
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "`define WIDTH %d\n\n", p.Width)
+	b.WriteString("module fsm(\n  clk,\n  reset_,\n  in_A,\n  in_B,\n  in_C,\n  in_D,\n  fsm_out\n);\n")
+	fmt.Fprintf(&b, "parameter WIDTH = `WIDTH;\nparameter FSM_WIDTH = %d;\n", sw)
+	for s := 0; s < p.States; s++ {
+		fmt.Fprintf(&b, "parameter S%d = %d'd%d;\n", s, sw, s)
+	}
+	b.WriteString("input clk;\ninput reset_;\n")
+	for _, in := range inputs {
+		fmt.Fprintf(&b, "input [WIDTH-1:0] %s;\n", in)
+	}
+	b.WriteString("output reg [FSM_WIDTH-1:0] fsm_out;\n")
+	b.WriteString("reg [FSM_WIDTH-1:0] state, next_state;\n")
+	b.WriteString("always_ff @(posedge clk or negedge reset_) begin\n")
+	b.WriteString("  if (!reset_) begin\n    state <= S0;\n  end else begin\n    state <= next_state;\n  end\nend\n")
+	b.WriteString("always_comb begin\n  case(state)\n")
+	for s := 0; s < p.States; s++ {
+		targets := succ[s]
+		fmt.Fprintf(&b, "    S%d: begin\n", s)
+		switch len(targets) {
+		case 1:
+			fmt.Fprintf(&b, "      next_state = S%d;\n", targets[0])
+		case 2:
+			fmt.Fprintf(&b, "      if (%s) begin\n        next_state = S%d;\n      end else begin\n        next_state = S%d;\n      end\n",
+				randomCond(rng, inputs, p.Complexity), targets[0], targets[1])
+		default:
+			fmt.Fprintf(&b, "      if (%s) begin\n        next_state = S%d;\n      end\n",
+				randomCond(rng, inputs, p.Complexity), targets[0])
+			fmt.Fprintf(&b, "      else if (%s) begin\n        next_state = S%d;\n      end\n",
+				randomCond(rng, inputs, p.Complexity), targets[1])
+			fmt.Fprintf(&b, "      else begin\n        next_state = S%d;\n      end\n", targets[2])
+		}
+		b.WriteString("    end\n")
+	}
+	b.WriteString("    default: begin\n      next_state = S0;\n    end\n")
+	b.WriteString("  endcase\nend\n")
+	b.WriteString("always_comb begin\n  fsm_out = state;\nend\n")
+	b.WriteString("endmodule\n")
+
+	var tb strings.Builder
+	fmt.Fprintf(&tb, "`define WIDTH %d\n\n", p.Width)
+	tb.WriteString("module fsm_tb(\n  clk,\n  reset_,\n  in_A,\n  in_B,\n  in_C,\n  in_D,\n  fsm_out\n);\n")
+	fmt.Fprintf(&tb, "parameter WIDTH = `WIDTH;\nparameter FSM_WIDTH = %d;\n", sw)
+	for s := 0; s < p.States; s++ {
+		fmt.Fprintf(&tb, "parameter S%d = %d'd%d;\n", s, sw, s)
+	}
+	tb.WriteString("input clk;\ninput reset_;\n")
+	for _, in := range inputs {
+		fmt.Fprintf(&tb, "input [WIDTH-1:0] %s;\n", in)
+	}
+	tb.WriteString("input reg [FSM_WIDTH-1:0] fsm_out;\n")
+	tb.WriteString("wire tb_reset;\nassign tb_reset = (reset_ == 1'b0);\n")
+	tb.WriteString("endmodule\n")
+
+	return &Instance{
+		ID:       fmt.Sprintf("fsm_ni_4_nn_%d_ne_%d_wd_%d_cx_%d_%d", p.States, p.Edges, p.Width, p.Complexity, p.Seed),
+		Kind:     "fsm",
+		Design:   b.String(),
+		Bench:    tb.String(),
+		DUTTop:   "fsm",
+		BenchTop: "fsm_tb",
+		FSM:      &FSMTruth{NumStates: p.States, StateWidth: sw, Succ: succ},
+	}
+}
+
+func randomCond(rng *rand.Rand, inputs []string, complexity int) string {
+	atom := func() string {
+		a := inputs[rng.Intn(len(inputs))]
+		switch rng.Intn(5) {
+		case 0:
+			return fmt.Sprintf("(%s == 'd%d)", a, rng.Intn(4))
+		case 1:
+			return fmt.Sprintf("(%s != %s)", a, inputs[rng.Intn(len(inputs))])
+		case 2:
+			return fmt.Sprintf("(%s <= 'd%d)", a, rng.Intn(8))
+		case 3:
+			return fmt.Sprintf("(|%s)", a)
+		default:
+			return fmt.Sprintf("(%s[%d])", a, rng.Intn(4))
+		}
+	}
+	expr := atom()
+	for i := 1; i < complexity; i++ {
+		op := "&&"
+		if rng.Intn(2) == 0 {
+			op = "||"
+		}
+		expr = fmt.Sprintf("(%s %s %s)", expr, op, atom())
+	}
+	return expr
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Sweep96 returns the benchmark's 96-instance controlled parameter
+// sweep for the given category ("pipeline" or "fsm"). The sweep varies
+// every Figure-4 control parameter so instance difficulty spans a wide
+// range.
+func Sweep96(kind string) []*Instance {
+	var out []*Instance
+	switch kind {
+	case "pipeline":
+		units := []int{1, 2}
+		depths := []int{3, 4, 6, 8}
+		widths := []int{4, 8, 16, 32}
+		complexities := []int{1, 3, 6}
+		seed := int64(1000)
+		for _, u := range units {
+			for _, d := range depths {
+				for _, w := range widths {
+					for _, c := range complexities {
+						out = append(out, GeneratePipeline(PipelineParams{
+							Units: u, Depth: d, Width: w, Complexity: c, Seed: seed,
+						}))
+						seed++
+					}
+				}
+			}
+		}
+	case "fsm":
+		states := []int{2, 4, 6, 8}
+		edgeFactors := []int{1, 2}
+		widths := []int{8, 16, 32}
+		complexities := []int{1, 2, 4, 6}
+		seed := int64(2000)
+		for _, st := range states {
+			for _, ef := range edgeFactors {
+				for _, w := range widths {
+					for _, c := range complexities {
+						out = append(out, GenerateFSM(FSMParams{
+							States: st, Edges: st * ef, Width: w, Complexity: c, Seed: seed,
+						}))
+						seed++
+					}
+				}
+			}
+		}
+	}
+	return out
+}

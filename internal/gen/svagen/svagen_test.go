@@ -1,0 +1,86 @@
+package svagen
+
+import (
+	"testing"
+
+	"fveval/internal/equiv"
+	"fveval/internal/ltl"
+	"fveval/internal/nl"
+	"fveval/internal/sva"
+)
+
+func TestDatasetSizeAndDeterminism(t *testing.T) {
+	d1 := Dataset(50)
+	d2 := Dataset(50)
+	if len(d1) != 50 {
+		t.Fatalf("dataset size %d", len(d1))
+	}
+	for i := range d1 {
+		if d1[i].NL != d2[i].NL || d1[i].Reference.String() != d2[i].Reference.String() {
+			t.Fatalf("instance %d not deterministic", i)
+		}
+	}
+}
+
+func TestReferencesAreWellFormed(t *testing.T) {
+	sigs := equiv.DefaultMachineSigs()
+	for _, inst := range Dataset(120) {
+		if err := sva.Validate(inst.Reference); err != nil {
+			t.Errorf("%s: reference fails validation: %v", inst.ID, err)
+			continue
+		}
+		f, err := ltl.LowerAssertion(inst.Reference)
+		if err != nil {
+			t.Errorf("%s: reference fails lowering: %v", inst.ID, err)
+			continue
+		}
+		for _, name := range ltl.SignalNames(f) {
+			if _, ok := sigs.Widths[name]; !ok {
+				t.Errorf("%s: reference uses unknown signal %s", inst.ID, name)
+			}
+		}
+	}
+}
+
+func TestDescriptionsPassCritic(t *testing.T) {
+	for _, inst := range Dataset(120) {
+		if inst.NL == "" {
+			t.Errorf("%s: empty description", inst.ID)
+			continue
+		}
+		if err := nl.Critic(inst.NL, inst.Reference); err != nil {
+			t.Errorf("%s: shipped description fails critic: %v\nNL: %s\nref: %s",
+				inst.ID, err, inst.NL, inst.Reference)
+		}
+	}
+}
+
+func TestRetryLoopExercised(t *testing.T) {
+	// With 25% sloppiness, some instances must have required retries.
+	retried := 0
+	for _, inst := range Dataset(200) {
+		if inst.Retries > 0 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Errorf("critic retry loop never triggered across 200 instances")
+	}
+}
+
+func TestVariety(t *testing.T) {
+	seen := map[string]bool{}
+	temporal := 0
+	for _, inst := range Dataset(100) {
+		seen[inst.Reference.Body.String()] = true
+		if _, ok := inst.Reference.Body.(*sva.PropImpl); ok {
+			temporal++
+		}
+	}
+	if len(seen) < 90 {
+		t.Errorf("only %d distinct assertions in 100", len(seen))
+	}
+	if temporal < 40 {
+		t.Errorf("too few temporal assertions: %d", temporal)
+	}
+}

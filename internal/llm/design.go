@@ -1,0 +1,150 @@
+package llm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// designResponse synthesizes a Design2SVA answer: a testbench snippet
+// (optional helper nets plus one assertion) over the testbench ports.
+// classEquivalent maps to "provable", classPartial/classWrong to
+// "plausible but not proven", classSyntax to compile failures
+// (including the use of DUT-internal signals the prompt forbids).
+func (m *ProxyModel) designResponse(p *Prompt, class responseClass, rng *rand.Rand) string {
+	inst := p.Design
+	if inst == nil {
+		return "assert property (@(posedge clk) 1'b1);"
+	}
+	if inst.Kind == "fsm" {
+		return m.fsmResponse(p, class, rng)
+	}
+	return m.pipelineResponse(p, class, rng)
+}
+
+func (m *ProxyModel) pipelineResponse(p *Prompt, class responseClass, rng *rand.Rand) string {
+	d := p.Design.Pipeline.Depth
+	switch class {
+	case classEquivalent:
+		// valid-propagation at the true latency — provable.
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf(`assert property (@(posedge clk) disable iff (tb_reset)
+  in_vld |-> ##%d out_vld
+);`, d)
+		}
+		return fmt.Sprintf(`logic vld_seen;
+assign vld_seen = in_vld;
+assert property (@(posedge clk) disable iff (tb_reset)
+  vld_seen |-> ##%d out_vld
+);`, d)
+	case classPartial, classWrong:
+		// plausible but unprovable: wrong latency or a data relation
+		// the datapath does not satisfy.
+		switch rng.Intn(3) {
+		case 0:
+			wrong := d - 1
+			if wrong < 1 {
+				wrong = d + 1
+			}
+			return fmt.Sprintf(`assert property (@(posedge clk) disable iff (tb_reset)
+  in_vld |-> ##%d out_vld
+);`, wrong)
+		case 1:
+			return fmt.Sprintf(`assert property (@(posedge clk) disable iff (tb_reset)
+  in_vld |-> ##%d (out_data == $past(in_data, %d))
+);`, d, d)
+		default:
+			return `assert property (@(posedge clk) disable iff (tb_reset)
+  out_vld |-> (out_data != 'd0)
+);`
+		}
+	default:
+		return m.designSyntaxBreak(p, rng)
+	}
+}
+
+func (m *ProxyModel) fsmResponse(p *Prompt, class responseClass, rng *rand.Rand) string {
+	truth := p.Design.FSM
+	sw := truth.StateWidth
+	reach := truth.Reachable()
+	switch class {
+	case classEquivalent:
+		// exact successor-set assertion from the ground truth —
+		// provable by the model checker.
+		s := reach[rng.Intn(len(reach))]
+		var terms []string
+		for _, t := range truth.Succ[s] {
+			terms = append(terms, fmt.Sprintf("fsm_out == S%d", t))
+		}
+		body := strings.Join(terms, " || ")
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf(`assert property (@(posedge clk) disable iff (tb_reset)
+  fsm_out == S%d |=> (%s)
+);`, s, body)
+		}
+		return fmt.Sprintf(`logic [%d:0] cur_state;
+assign cur_state = fsm_out;
+assert property (@(posedge clk) disable iff (tb_reset)
+  cur_state == S%d |=> (%s)
+);`, sw-1, s, body)
+	case classPartial, classWrong:
+		// wrong successor claim: pick a reachable state and a
+		// non-successor (unreachable antecedents would be vacuously
+		// proven).
+		s := reach[rng.Intn(len(reach))]
+		wrong := -1
+		for t := 0; t < truth.NumStates; t++ {
+			if !intIn(truth.Succ[s], t) {
+				wrong = t
+				break
+			}
+		}
+		if wrong < 0 {
+			// all states are successors: claim a single exact
+			// successor where several exist, or a false freeze.
+			if len(truth.Succ[s]) > 1 {
+				return fmt.Sprintf(`assert property (@(posedge clk) disable iff (tb_reset)
+  fsm_out == S%d |=> (fsm_out == S%d)
+);`, s, truth.Succ[s][0])
+			}
+			return `assert property (@(posedge clk) disable iff (tb_reset)
+  in_A != in_B
+);`
+		}
+		return fmt.Sprintf(`assert property (@(posedge clk) disable iff (tb_reset)
+  fsm_out == S%d |=> (fsm_out == S%d)
+);`, s, wrong)
+	default:
+		return m.designSyntaxBreak(p, rng)
+	}
+}
+
+// designSyntaxBreak fails compilation: DUT-internal signal references
+// (forbidden by the prompt and unresolvable in the bound testbench) or
+// hallucinated syntax.
+func (m *ProxyModel) designSyntaxBreak(p *Prompt, rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		// references the DUT-internal next_state/state nets
+		return `assert property (@(posedge clk) disable iff (tb_reset)
+  (state == 'd0) |-> (next_state != state)
+);`
+	case 1:
+		return `assert property (@(posedge clk) disable iff (tb_reset)
+  in_vld |-> eventually(out_vld)
+);`
+	default:
+		return `assert property (@(posedge clk) disable iff (tb_reset)
+  fsm_out == S0 |=> (fsm_out == S1)
+;`
+	}
+}
+
+func intIn(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

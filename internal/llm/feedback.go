@@ -1,0 +1,58 @@
+package llm
+
+import (
+	"fmt"
+)
+
+// FeedbackModel wraps a base model with a tool-feedback refinement
+// loop — the agentic usage the paper's §6 proposes as future work:
+// when a response fails the formal tool's compile step, the failure
+// message is appended to the prompt and the model retries.
+//
+// For proxy models the retry is modeled as a fresh sample with the
+// feedback folded into the sampling salt; real endpoint models receive
+// the feedback text verbatim.
+type FeedbackModel struct {
+	Base Model
+	// Check returns nil when the response compiles; the error text is
+	// fed back on retry. Typically sva.CheckSyntax on the extracted
+	// code.
+	Check func(response string) error
+	// MaxRetries bounds refinement rounds (default 2).
+	MaxRetries int
+}
+
+// Name implements Model.
+func (m *FeedbackModel) Name() string { return m.Base.Name() + "+feedback" }
+
+// ContextWindow implements Model.
+func (m *FeedbackModel) ContextWindow() int { return m.Base.ContextWindow() }
+
+// Generate implements Model: it re-queries the base model with tool
+// feedback until the check passes or retries are exhausted, returning
+// the last response.
+func (m *FeedbackModel) Generate(p *Prompt, sample int) string {
+	retries := m.MaxRetries
+	if retries == 0 {
+		retries = 2
+	}
+	resp := m.Base.Generate(p, sample)
+	if m.Check == nil {
+		return resp
+	}
+	for round := 1; round <= retries; round++ {
+		err := m.Check(resp)
+		if err == nil {
+			return resp
+		}
+		// Fold the tool feedback into the prompt (endpoint models see
+		// the text; proxies see a distinct instance salt so the retry
+		// is an independent draw — empirically how retry-on-compile-
+		// error behaves).
+		fp := *p
+		fp.User = p.User + fmt.Sprintf("\nThe previous response failed to compile: %v\nPlease fix the SystemVerilog and answer again.\n", err)
+		fp.InstanceID = fmt.Sprintf("%s/fb%d", p.InstanceID, round)
+		resp = m.Base.Generate(&fp, sample)
+	}
+	return resp
+}

@@ -1,0 +1,72 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"fveval/internal/sva"
+)
+
+func TestFeedbackModelRefines(t *testing.T) {
+	// A proxy tuned to fail syntax often; the feedback wrapper should
+	// lift the syntax rate substantially.
+	base := &ProxyModel{P: Profile{
+		ModelName: "weak-model",
+		Window:    128000,
+		Human:     TaskProfile{Syntax: 0.40, Func: 0.20, Partial: 0.30, Jitter: 0.2},
+	}}
+	wrapped := &FeedbackModel{
+		Base: base,
+		Check: func(resp string) error {
+			return sva.CheckSyntax(ExtractCode(resp))
+		},
+		MaxRetries: 3,
+	}
+	if wrapped.Name() != "weak-model+feedback" {
+		t.Fatalf("name: %s", wrapped.Name())
+	}
+	ref, err := sva.ParseAssertion(`assert property (@(posedge clk) disable iff (tb_reset) a |-> ##1 b);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 120
+	basePass, wrapPass := 0, 0
+	for i := 0; i < n; i++ {
+		p := BuildHumanPrompt("fb-"+itoa(i), "tb", "spec", ref)
+		if sva.CheckSyntax(ExtractCode(base.Generate(p, 0))) == nil {
+			basePass++
+		}
+		if sva.CheckSyntax(ExtractCode(wrapped.Generate(p, 0))) == nil {
+			wrapPass++
+		}
+	}
+	if wrapPass <= basePass {
+		t.Fatalf("feedback loop must improve syntax rate: base %d/%d wrapped %d/%d",
+			basePass, n, wrapPass, n)
+	}
+	// deterministic
+	p := BuildHumanPrompt("fb-det", "tb", "spec", ref)
+	if wrapped.Generate(p, 0) != wrapped.Generate(p, 0) {
+		t.Fatalf("feedback generation must be deterministic")
+	}
+}
+
+func TestFeedbackModelPassesThroughGood(t *testing.T) {
+	base := &ProxyModel{P: Profile{
+		ModelName: "perfect",
+		Window:    128000,
+		Human:     TaskProfile{Syntax: 1.0, Func: 1.0, Partial: 1.0},
+	}}
+	wrapped := &FeedbackModel{Base: base, Check: func(resp string) error {
+		return sva.CheckSyntax(ExtractCode(resp))
+	}}
+	ref, _ := sva.ParseAssertion(`assert property (@(posedge clk) a |-> b);`)
+	p := BuildHumanPrompt("x", "tb", "spec", ref)
+	resp := wrapped.Generate(p, 0)
+	if !strings.Contains(resp, "assert property") {
+		t.Fatalf("response lost: %q", resp)
+	}
+	if resp != base.Generate(p, 0) {
+		t.Fatalf("passing responses must not be altered")
+	}
+}

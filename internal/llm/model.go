@@ -1,0 +1,455 @@
+package llm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"fveval/internal/sva"
+)
+
+// Model generates SVA responses for benchmark prompts. Sample selects
+// among nucleus-sampling candidates (0 = greedy).
+type Model interface {
+	Name() string
+	Generate(p *Prompt, sample int) string
+	// ContextWindow in tokens; models below 32K skip Design2SVA, as in
+	// the paper §4.4.
+	ContextWindow() int
+}
+
+// responseClass orders outcomes from best to worst.
+type responseClass int
+
+const (
+	classEquivalent responseClass = iota
+	classPartial
+	classWrong
+	classSyntax
+)
+
+// TaskProfile holds the calibration targets for one (task, shots)
+// cell: the probability mass of responses that pass Syntax, that are
+// fully equivalent (Func), and that are at least one-directionally
+// equivalent (Partial ⊇ Func). Jitter is the probability that a
+// non-greedy sample re-rolls its outcome class — it controls how much
+// pass@k improves over pass@1.
+type TaskProfile struct {
+	Syntax  float64
+	Func    float64
+	Partial float64
+	Jitter  float64
+}
+
+func (tp TaskProfile) sample(rng *rand.Rand) responseClass {
+	u := rng.Float64()
+	switch {
+	case u < tp.Func:
+		return classEquivalent
+	case u < tp.Partial:
+		return classPartial
+	case u < tp.Syntax:
+		return classWrong
+	default:
+		return classSyntax
+	}
+}
+
+// Profile is the full calibration record for one model.
+type Profile struct {
+	ModelName string
+	Window    int
+
+	Human    TaskProfile
+	Machine0 TaskProfile // zero-shot
+	Machine3 TaskProfile // three-shot
+	Pipeline TaskProfile // Design2SVA pipeline category
+	FSM      TaskProfile // Design2SVA FSM category
+}
+
+// ProxyModel synthesizes responses by transforming the hidden
+// reference solution through error channels sampled from the profile.
+// Every transform guarantees its verdict class by construction
+// (weaken ⇒ reference implies response, etc.), so the measured metrics
+// track the profile targets up to sampling noise.
+type ProxyModel struct {
+	P Profile
+}
+
+// Name implements Model.
+func (m *ProxyModel) Name() string { return m.P.ModelName }
+
+// ContextWindow implements Model.
+func (m *ProxyModel) ContextWindow() int { return m.P.Window }
+
+func (m *ProxyModel) profileFor(p *Prompt) TaskProfile {
+	switch p.Task {
+	case NL2SVAHuman:
+		return m.P.Human
+	case NL2SVAMachine:
+		if p.Shots >= 3 {
+			return m.P.Machine3
+		}
+		return m.P.Machine0
+	default:
+		if p.Design != nil && p.Design.Kind == "fsm" {
+			return m.P.FSM
+		}
+		return m.P.Pipeline
+	}
+}
+
+func (m *ProxyModel) rng(p *Prompt, salt string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(m.P.ModelName))
+	h.Write([]byte{0})
+	h.Write([]byte(p.InstanceID))
+	h.Write([]byte{0})
+	h.Write([]byte(p.Task.String()))
+	h.Write([]byte{0})
+	h.Write([]byte(salt))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Generate implements Model.
+func (m *ProxyModel) Generate(p *Prompt, sample int) string {
+	tp := m.profileFor(p)
+	base := m.rng(p, fmt.Sprintf("shots=%d", p.Shots))
+	class := tp.sample(base)
+	if sample > 0 {
+		jr := m.rng(p, fmt.Sprintf("shots=%d/sample=%d", p.Shots, sample))
+		if jr.Float64() < tp.Jitter {
+			class = tp.sample(jr)
+		}
+	}
+	style := m.rng(p, fmt.Sprintf("style/%d/%d", p.Shots, sample))
+	var code string
+	if p.Task == Design2SVA {
+		code = m.designResponse(p, class, style)
+	} else {
+		code = m.translationResponse(p, class, style)
+	}
+	return "```systemverilog\n" + code + "\n```"
+}
+
+// ---- NL2SVA response synthesis -----------------------------------------
+
+func (m *ProxyModel) translationResponse(p *Prompt, class responseClass, rng *rand.Rand) string {
+	ref := p.Reference
+	if ref == nil {
+		return "assert property (@(posedge clk) 1'b1);"
+	}
+	switch class {
+	case classEquivalent:
+		return styleRewrite(ref, rng).String()
+	case classPartial:
+		if a, ok := partialTransform(ref, rng); ok {
+			return a.String()
+		}
+		return styleRewrite(ref, rng).String()
+	case classWrong:
+		return wrongTransform(ref, rng).String()
+	default:
+		return syntaxBreak(ref, rng)
+	}
+}
+
+// styleRewrite produces an equivalence-preserving variant: label
+// changes, |=> <-> |-> ##1, `x !== 1'b1` <-> !x, === for ==.
+func styleRewrite(ref *sva.Assertion, rng *rand.Rand) *sva.Assertion {
+	a := ref.Clone()
+	switch rng.Intn(4) {
+	case 0:
+		a.Label = ""
+	case 1:
+		a.Label = "asrt_" + pickWord(rng)
+	}
+	// |=> b  <->  |-> ##1 b
+	if impl, ok := a.Body.(*sva.PropImpl); ok && rng.Intn(2) == 0 {
+		if !impl.Overlap {
+			impl.Overlap = true
+			impl.P = &sva.PropSeq{S: &sva.SeqDelay{
+				D: sva.Delay{Lo: 1, Hi: 1},
+				R: &sva.SeqExpr{E: propExprOrTrue(impl.P)},
+			}}
+		}
+	}
+	// (X) !== 1'b1  ->  !(X)
+	if ps, ok := a.Body.(*sva.PropSeq); ok {
+		if se, ok := ps.S.(*sva.SeqExpr); ok {
+			if bin, ok := se.E.(*sva.Binary); ok && (bin.Op == "!==" || bin.Op == "!=") {
+				if n, ok := bin.Y.(*sva.Num); ok && n.Value == 1 && rng.Intn(2) == 0 {
+					se.E = &sva.Unary{Op: "!", X: bin.X}
+				}
+			}
+		}
+	}
+	// Deep lexical divergence with preserved semantics: models often
+	// express the same logic in a visually distant form (the paper's
+	// BLEU-vs-Func decorrelation depends on this). Apply a few passes
+	// of commutation / De Morgan / comparison flips.
+	passes := rng.Intn(3)
+	for i := 0; i < passes; i++ {
+		mutateExprsEquiv(a, rng)
+	}
+	return a
+}
+
+// mutateExprsEquiv rewrites boolean-layer expressions into equivalent
+// forms: operand commutation, De Morgan expansion, flipped
+// comparisons, === <-> ==.
+func mutateExprsEquiv(a *sva.Assertion, rng *rand.Rand) {
+	var rewrite func(e sva.Expr) sva.Expr
+	rewrite = func(e sva.Expr) sva.Expr {
+		switch v := e.(type) {
+		case *sva.Binary:
+			v.X = rewrite(v.X)
+			v.Y = rewrite(v.Y)
+			switch v.Op {
+			case "&&", "||", "==", "!=", "===", "!==", "&", "|", "^":
+				if rng.Intn(2) == 0 {
+					v.X, v.Y = v.Y, v.X
+				}
+			}
+			switch v.Op {
+			case "==":
+				if rng.Intn(3) == 0 {
+					v.Op = "==="
+				}
+			case "===":
+				if rng.Intn(3) == 0 {
+					v.Op = "=="
+				}
+			case "<":
+				if rng.Intn(3) == 0 {
+					v.Op = ">"
+					v.X, v.Y = v.Y, v.X
+				}
+			}
+			return v
+		case *sva.Unary:
+			if v.Op == "!" && rng.Intn(2) == 0 {
+				if inner, ok := v.X.(*sva.Binary); ok {
+					switch inner.Op {
+					case "&&": // !(a && b) -> !a || !b
+						return &sva.Binary{Op: "||",
+							X: &sva.Unary{Op: "!", X: rewrite(inner.X)},
+							Y: &sva.Unary{Op: "!", X: rewrite(inner.Y)}}
+					case "||":
+						return &sva.Binary{Op: "&&",
+							X: &sva.Unary{Op: "!", X: rewrite(inner.X)},
+							Y: &sva.Unary{Op: "!", X: rewrite(inner.Y)}}
+					}
+				}
+			}
+			v.X = rewrite(v.X)
+			return v
+		case *sva.Cond:
+			v.C = rewrite(v.C)
+			v.T = rewrite(v.T)
+			v.E = rewrite(v.E)
+			return v
+		}
+		return e
+	}
+	switch b := a.Body.(type) {
+	case *sva.PropSeq:
+		if se, ok := b.S.(*sva.SeqExpr); ok {
+			se.E = rewrite(se.E)
+		}
+	case *sva.PropImpl:
+		if se, ok := b.S.(*sva.SeqExpr); ok {
+			se.E = rewrite(se.E)
+		}
+		if ps, ok := b.P.(*sva.PropSeq); ok {
+			if se, ok := ps.S.(*sva.SeqExpr); ok {
+				se.E = rewrite(se.E)
+			}
+			if sd, ok := ps.S.(*sva.SeqDelay); ok {
+				if se, ok := sd.R.(*sva.SeqExpr); ok {
+					se.E = rewrite(se.E)
+				}
+			}
+		}
+	}
+}
+
+// propExprOrTrue extracts a boolean consequent, for the |=> rewrite.
+func propExprOrTrue(p sva.Property) sva.Expr {
+	if ps, ok := p.(*sva.PropSeq); ok {
+		if se, ok := ps.S.(*sva.SeqExpr); ok {
+			return se.E
+		}
+	}
+	return &sva.Num{Text: "1'b1", Value: 1, Width: 1}
+}
+
+// partialTransform builds a one-directionally equivalent variant.
+func partialTransform(ref *sva.Assertion, rng *rand.Rand) (*sva.Assertion, bool) {
+	a := ref.Clone()
+	if impl, ok := a.Body.(*sva.PropImpl); ok {
+		// weaken: strong eventuality -> weak ##[1:$] (the gpt-4o
+		// failure from Fig. 7)
+		if ps, ok := impl.P.(*sva.PropSeq); ok && ps.Explicit && ps.Strong && rng.Intn(2) == 0 {
+			ps.Explicit = false
+			ps.Strong = false
+			if sd, ok := ps.S.(*sva.SeqDelay); ok && sd.D.Inf && sd.D.Lo == 0 {
+				sd.D.Lo = 1
+			}
+			a.Label = ""
+			return a, true
+		}
+		switch rng.Intn(3) {
+		case 0:
+			// weaken: widen an exact consequent delay ##N -> ##[N:N+1]
+			if ps, ok := impl.P.(*sva.PropSeq); ok {
+				if sd, ok := ps.S.(*sva.SeqDelay); ok && !sd.D.Inf && sd.D.Lo == sd.D.Hi {
+					sd.D.Hi = sd.D.Lo + 1
+					return a, true
+				}
+			}
+		case 1:
+			// strengthen: a |-> b  =>  a && b (paper Fig. 8 llama)
+			if se, ok := impl.S.(*sva.SeqExpr); ok {
+				if cons, ok := implConsequentExpr(impl); ok {
+					a.Body = &sva.PropSeq{S: &sva.SeqExpr{E: &sva.Binary{
+						Op: "&&", X: se.E, Y: cons,
+					}}}
+					return a, true
+				}
+			}
+		}
+		// weaken: strengthen the antecedent with an extra live conjunct
+		if se, ok := impl.S.(*sva.SeqExpr); ok {
+			if extra := firstSignalOf(impl.P); extra != "" {
+				impl.S = &sva.SeqExpr{E: &sva.Binary{
+					Op: "&&", X: se.E, Y: &sva.Ident{Name: extra},
+				}}
+				return a, true
+			}
+		}
+		return a, false
+	}
+	// plain boolean body: strengthen by conjoining another referenced
+	// signal, or weaken by disjoining one.
+	if ps, ok := a.Body.(*sva.PropSeq); ok {
+		if se, ok := ps.S.(*sva.SeqExpr); ok {
+			sig := anySignal(ref)
+			if sig == "" {
+				return a, false
+			}
+			op := "&&"
+			if rng.Intn(2) == 0 {
+				op = "||"
+			}
+			se.E = &sva.Binary{Op: op, X: se.E, Y: &sva.Ident{Name: sig}}
+			return a, true
+		}
+	}
+	return a, false
+}
+
+func implConsequentExpr(impl *sva.PropImpl) (sva.Expr, bool) {
+	if ps, ok := impl.P.(*sva.PropSeq); ok && !ps.Explicit {
+		if se, ok := ps.S.(*sva.SeqExpr); ok {
+			return se.E, true
+		}
+	}
+	return nil, false
+}
+
+func firstSignalOf(p sva.Property) string {
+	names := []string{}
+	sva.WalkExprs(p, func(e sva.Expr) {
+		if id, ok := e.(*sva.Ident); ok {
+			names = append(names, id.Name)
+		}
+	})
+	if len(names) > 0 {
+		return names[0]
+	}
+	return ""
+}
+
+func anySignal(a *sva.Assertion) string {
+	sigs := a.Signals()
+	for _, s := range sigs {
+		if s != "clk" && s != "tb_reset" && s != "reset_" {
+			return s
+		}
+	}
+	return ""
+}
+
+// wrongTransform breaks the semantics in both directions.
+func wrongTransform(ref *sva.Assertion, rng *rand.Rand) *sva.Assertion {
+	a := ref.Clone()
+	if impl, ok := a.Body.(*sva.PropImpl); ok {
+		// off-by-one consequent delay, or negated consequent
+		if ps, ok := impl.P.(*sva.PropSeq); ok {
+			if sd, ok := ps.S.(*sva.SeqDelay); ok && !sd.D.Inf {
+				sd.D.Lo++
+				sd.D.Hi++
+				return a
+			}
+			if se, ok := ps.S.(*sva.SeqExpr); ok {
+				se.E = &sva.Unary{Op: "!", X: se.E}
+				return a
+			}
+		}
+		// negate the antecedent
+		if se, ok := impl.S.(*sva.SeqExpr); ok {
+			impl.S = &sva.SeqExpr{E: &sva.Unary{Op: "!", X: se.E}}
+			return a
+		}
+	}
+	if ps, ok := a.Body.(*sva.PropSeq); ok {
+		if se, ok := ps.S.(*sva.SeqExpr); ok {
+			se.E = &sva.Unary{Op: "!", X: se.E}
+			return a
+		}
+	}
+	a.Body = &sva.PropNot{P: a.Body}
+	return a
+}
+
+// syntaxBreak emits text that fails the tool's compile step, drawn
+// from the failure modes the paper catalogues (hallucinated operators,
+// unknown system functions, unbalanced delimiters).
+func syntaxBreak(ref *sva.Assertion, rng *rand.Rand) string {
+	base := ref.String()
+	switch rng.Intn(4) {
+	case 0:
+		// invalid "eventually" operator (paper Fig. 7)
+		sig := anySignal(ref)
+		if sig == "" {
+			sig = "sig_A"
+		}
+		return fmt.Sprintf(`asrt: assert property (@(posedge %s) disable iff (tb_reset)
+  %s |-> eventually(%s)
+);`, ref.ClockName, sig, sig)
+	case 1:
+		// unknown system function
+		return strings.Replace(base, "assert property", "assert property", 1) +
+			"\n// uses $sometimes\n" + strings.Replace(base, ref.Body.String(),
+			"$sometimes("+ref.Body.String()+")", 1)
+	case 2:
+		// unbalanced parenthesis
+		return base[:len(base)-2] + "));"
+	default:
+		// reversed delay range
+		sig := anySignal(ref)
+		if sig == "" {
+			sig = "a"
+		}
+		return fmt.Sprintf(`assert property (@(posedge %s)
+  %s |-> ##[3:1] %s
+);`, ref.ClockName, sig, sig)
+	}
+}
+
+func pickWord(rng *rand.Rand) string {
+	words := []string{"check", "prop", "holds", "main", "valid", "ok"}
+	return words[rng.Intn(len(words))]
+}

@@ -1,0 +1,178 @@
+// Package llm provides the language-model layer of the benchmark. The
+// paper queries proprietary endpoints (gpt-4o, gemini-1.5) and local
+// vLLM deployments (Llama, Mixtral); this reproduction is offline, so
+// the Model interface is implemented by deterministic, seeded proxy
+// models with per-model calibrated error profiles (see profiles.go and
+// DESIGN.md §2). Prompt construction follows the paper's Appendix
+// A.2, B.1/B.2, and C.2 verbatim, so a real endpoint-backed Model can
+// be dropped in without touching the harness.
+package llm
+
+import (
+	"strings"
+
+	"fveval/internal/gen/rtlgen"
+	"fveval/internal/sva"
+)
+
+// Task identifies a sub-benchmark.
+type Task int
+
+// Tasks.
+const (
+	NL2SVAHuman Task = iota
+	NL2SVAMachine
+	Design2SVA
+)
+
+func (t Task) String() string {
+	switch t {
+	case NL2SVAHuman:
+		return "nl2sva-human"
+	case NL2SVAMachine:
+		return "nl2sva-machine"
+	}
+	return "design2sva"
+}
+
+// Prompt carries both the rendered text (what a real endpoint would
+// receive) and the structured instance context the proxy models need.
+type Prompt struct {
+	Task   Task
+	System string
+	User   string
+
+	InstanceID string
+	Shots      int
+
+	// Hidden ground truth, used only by proxy models to synthesize
+	// realistic responses. Endpoint-backed models must ignore these.
+	Reference *sva.Assertion
+	Design    *rtlgen.Instance
+}
+
+const systemPrompt = `You are an AI assistant tasked with formal verification of register transfer level (RTL) designs.
+Your job is to translate a description of an assertion to concrete SystemVerilog Assertion (SVA) implementation.`
+
+const systemPromptDesign = `You are an AI assistant tasked with formal verification of register transfer level (RTL) designs.
+Your job is to generate a SystemVerilog assertion for the design-under-test provided.`
+
+const outputRules = `Do not add code to output an error message string. Enclose your SVA code with ` + "```systemverilog and ```" + `.
+Only output the code snippet and do NOT output anything else.
+For example,
+` + "```systemverilog" + `
+asrt: assert property (@(posedge clk) disable iff (tb_reset)
+  (a && b) != 1'b1
+);
+` + "```"
+
+// ICLExamples are the fixed 3-shot in-context examples from Appendix
+// B.2 (Figure 15).
+const ICLExamples = `More detailed examples of correct translations from description into an SVA assertion:
+
+Question: Create a SVA assertion that checks: Whenever sig_A is high and sig_B is low, sig_C will be high on the next clock edge.
+Answer:
+` + "```systemverilog" + `
+assert property(@(posedge clk)
+  (sig_A && !sig_B) |-> sig_C
+);
+` + "```" + `
+
+Question: Create a SVA assertion that checks: If sig_C contains at least one '1' bit or sig_D is not equal to sig_A, then sig_F must eventually be true
+Answer:
+` + "```systemverilog" + `
+assert property(@(posedge clk)
+  (|sig_C || (sig_D !== sig_A)) |=> s_eventually(sig_F)
+);
+` + "```" + `
+
+Question: Create a SVA assertion that checks: Whenever the value of sig_J is less than sig_B, the assertion is true
+Answer:
+` + "```systemverilog" + `
+assert property(@(posedge clk)
+  (sig_J < sig_B)
+);
+` + "```"
+
+// BuildHumanPrompt renders the NL2SVA-Human prompt (Appendix A.2).
+func BuildHumanPrompt(instanceID, testbenchSrc, nlSpec string, ref *sva.Assertion) *Prompt {
+	var u strings.Builder
+	u.WriteString("Here is the testbench to perform your translation:\n\n")
+	u.WriteString(testbenchSrc)
+	u.WriteString("\n\nQuestion: Create a SVA assertion that checks: ")
+	u.WriteString(nlSpec)
+	u.WriteString("\n\n")
+	u.WriteString(outputRules)
+	u.WriteString("\nAnswer:\n")
+	return &Prompt{
+		Task:       NL2SVAHuman,
+		System:     systemPrompt,
+		User:       u.String(),
+		InstanceID: instanceID,
+		Reference:  ref,
+	}
+}
+
+// BuildMachinePrompt renders the NL2SVA-Machine prompt (Appendix B.1),
+// with the fixed ICL examples for shots == 3.
+func BuildMachinePrompt(instanceID, nlSpec string, shots int, ref *sva.Assertion) *Prompt {
+	var u strings.Builder
+	if shots >= 3 {
+		u.WriteString(ICLExamples)
+		u.WriteString("\n\n")
+	}
+	u.WriteString("Question: Create a SVA assertion that checks:\n")
+	u.WriteString(nlSpec)
+	u.WriteString("\n\n")
+	u.WriteString(outputRules)
+	u.WriteString("\nAnswer:\n")
+	return &Prompt{
+		Task:       NL2SVAMachine,
+		System:     systemPrompt,
+		User:       u.String(),
+		InstanceID: instanceID,
+		Shots:      shots,
+		Reference:  ref,
+	}
+}
+
+// BuildDesignPrompt renders the Design2SVA prompt (Appendix C.2).
+func BuildDesignPrompt(inst *rtlgen.Instance) *Prompt {
+	var u strings.Builder
+	u.WriteString("Here is the design RTL to generate assertions for:\n\n")
+	u.WriteString(inst.Design)
+	u.WriteString("\nHere is a partial testbench for you to work on:\n\n")
+	u.WriteString(inst.Bench)
+	u.WriteString(`
+Question: generate a single SVA assertion for the given design RTL that is most important to verify.
+If necessary, produce any extra code, including wires, registers, and their assignments.
+Do NOT use signals from the design RTL, only use the module input signals or internal signals you have added.
+Do NOT use any 'initial' blocks. This testbench is not for running RTL simulation but for formal verification.
+Do NOT instantiate the design module inside the testbench.
+When implementing the assertion, generate a concurrent SVA assertion and do not add code to output an error message string.
+`)
+	u.WriteString(outputRules)
+	u.WriteString("\nRemember to output only one assertion.\nAnswer:\n")
+	return &Prompt{
+		Task:       Design2SVA,
+		System:     systemPromptDesign,
+		User:       u.String(),
+		InstanceID: inst.ID,
+		Design:     inst,
+	}
+}
+
+// ExtractCode strips the ```systemverilog fences from a model
+// response; raw text without fences is returned unchanged.
+func ExtractCode(response string) string {
+	s := response
+	if i := strings.Index(s, "```systemverilog"); i >= 0 {
+		s = s[i+len("```systemverilog"):]
+	} else if i := strings.Index(s, "```"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.Index(s, "```"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}

@@ -1,0 +1,334 @@
+// Package logic provides a structurally-hashed boolean circuit builder
+// (an and-inverter-graph style representation) together with Tseitin
+// translation to CNF for the sat package.
+//
+// The equivalence checker and the model checker both build their trace
+// semantics as circuits here: atomic design/assertion expressions are
+// bit-blasted into Node values, temporal operators combine them, and a
+// single CNF emission hands the question to the SAT solver.
+package logic
+
+import (
+	"fmt"
+
+	"fveval/internal/sat"
+)
+
+// Node is a reference to a circuit node. The zero Node is the constant
+// false; its complement is the constant true. Internally a node is an
+// index with a complement bit, mirroring the sat.Lit encoding.
+type Node int32
+
+// Constants.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// IsConst reports whether n is one of the two constants.
+func (n Node) IsConst() bool { return n&^1 == 0 }
+
+func (n Node) index() int32 { return int32(n) >> 1 }
+func (n Node) compl() bool  { return n&1 == 1 }
+
+// Not returns the complement of n.
+func (n Node) Not() Node { return n ^ 1 }
+
+type gate struct {
+	a, b Node // two-input AND gate; inputs may be complemented
+}
+
+// Builder constructs circuits. Nodes are value types referencing the
+// builder's node table; a Node from one builder must not be used with
+// another.
+type Builder struct {
+	gates  []gate          // index 0 unused (reserved for constants)
+	hash   map[gate]Node   // structural hashing
+	inputs []Node          // free input nodes in creation order
+	names  map[Node]string // debug names of inputs
+	isVar  []bool          // per-index: true if free input
+}
+
+// NewBuilder returns an empty circuit builder.
+func NewBuilder() *Builder {
+	b := &Builder{
+		hash:  make(map[gate]Node),
+		names: make(map[Node]string),
+	}
+	b.gates = append(b.gates, gate{}) // index 0: constants
+	b.isVar = append(b.isVar, false)
+	return b
+}
+
+// NumNodes returns the number of allocated nodes (gates + inputs),
+// excluding constants.
+func (b *Builder) NumNodes() int { return len(b.gates) - 1 }
+
+// Input allocates a fresh free input node with a debug name.
+func (b *Builder) Input(name string) Node {
+	idx := int32(len(b.gates))
+	b.gates = append(b.gates, gate{})
+	b.isVar = append(b.isVar, true)
+	n := Node(idx << 1)
+	b.inputs = append(b.inputs, n)
+	b.names[n] = name
+	return n
+}
+
+// Inputs returns the inputs in creation order.
+func (b *Builder) Inputs() []Node { return b.inputs }
+
+// Name returns the debug name of an input node.
+func (b *Builder) Name(n Node) string { return b.names[n&^1] }
+
+// And returns the conjunction of x and y with constant folding and
+// structural hashing.
+func (b *Builder) And(x, y Node) Node {
+	// constant folding
+	switch {
+	case x == False || y == False:
+		return False
+	case x == True:
+		return y
+	case y == True:
+		return x
+	case x == y:
+		return x
+	case x == y.Not():
+		return False
+	}
+	// canonical order for hashing
+	if x > y {
+		x, y = y, x
+	}
+	g := gate{x, y}
+	if n, ok := b.hash[g]; ok {
+		return n
+	}
+	idx := int32(len(b.gates))
+	b.gates = append(b.gates, g)
+	b.isVar = append(b.isVar, false)
+	n := Node(idx << 1)
+	b.hash[g] = n
+	return n
+}
+
+// Or returns the disjunction of x and y.
+func (b *Builder) Or(x, y Node) Node { return b.And(x.Not(), y.Not()).Not() }
+
+// Xor returns x XOR y.
+func (b *Builder) Xor(x, y Node) Node {
+	// (x AND !y) OR (!x AND y)
+	return b.Or(b.And(x, y.Not()), b.And(x.Not(), y))
+}
+
+// Xnor returns x XNOR y (equivalence).
+func (b *Builder) Xnor(x, y Node) Node { return b.Xor(x, y).Not() }
+
+// Implies returns x -> y.
+func (b *Builder) Implies(x, y Node) Node { return b.Or(x.Not(), y) }
+
+// Mux returns sel ? t : f.
+func (b *Builder) Mux(sel, t, f Node) Node {
+	if t == f {
+		return t
+	}
+	return b.Or(b.And(sel, t), b.And(sel.Not(), f))
+}
+
+// AndAll folds And over all nodes (True for empty input).
+func (b *Builder) AndAll(ns ...Node) Node {
+	acc := True
+	for _, n := range ns {
+		acc = b.And(acc, n)
+	}
+	return acc
+}
+
+// OrAll folds Or over all nodes (False for empty input).
+func (b *Builder) OrAll(ns ...Node) Node {
+	acc := False
+	for _, n := range ns {
+		acc = b.Or(acc, n)
+	}
+	return acc
+}
+
+// Eval computes the value of node n under the assignment env, which
+// maps input nodes (non-complemented) to values. Missing inputs default
+// to false. Results are memoized in the provided cache (may be nil).
+func (b *Builder) Eval(n Node, env map[Node]bool, cache map[int32]bool) bool {
+	if cache == nil {
+		cache = make(map[int32]bool)
+	}
+	v := b.evalIdx(n.index(), env, cache)
+	if n.compl() {
+		return !v
+	}
+	return v
+}
+
+func (b *Builder) evalIdx(idx int32, env map[Node]bool, cache map[int32]bool) bool {
+	if idx == 0 {
+		return false
+	}
+	if v, ok := cache[idx]; ok {
+		return v
+	}
+	var v bool
+	if b.isVar[idx] {
+		v = env[Node(idx<<1)]
+	} else {
+		g := b.gates[idx]
+		av := b.evalIdx(g.a.index(), env, cache)
+		if g.a.compl() {
+			av = !av
+		}
+		if !av {
+			v = false
+		} else {
+			bv := b.evalIdx(g.b.index(), env, cache)
+			if g.b.compl() {
+				bv = !bv
+			}
+			v = bv
+		}
+	}
+	cache[idx] = v
+	return v
+}
+
+// CNF incrementally Tseitin-encodes circuit nodes into a sat.Solver.
+type CNF struct {
+	b      *Builder
+	solver *sat.Solver
+	varOf  map[int32]int // node index -> sat var
+}
+
+// NewCNF creates a CNF emitter targeting the given solver.
+func NewCNF(b *Builder, s *sat.Solver) *CNF {
+	return &CNF{b: b, solver: s, varOf: map[int32]int{}}
+}
+
+// Solver returns the underlying solver.
+func (c *CNF) Solver() *sat.Solver { return c.solver }
+
+// Lit returns the sat literal equivalent to node n, emitting Tseitin
+// clauses for any gates not yet encoded. Constants are encoded via a
+// dedicated always-true variable.
+func (c *CNF) Lit(n Node) sat.Lit {
+	idx := n.index()
+	v, ok := c.varOf[idx]
+	if !ok {
+		v = c.encode(idx)
+	}
+	return sat.NewLit(v, n.compl())
+}
+
+func (c *CNF) encode(idx int32) int {
+	if v, ok := c.varOf[idx]; ok {
+		return v
+	}
+	if idx == 0 {
+		v := c.solver.NewVar()
+		// constant-false variable
+		c.solver.AddClause(sat.NewLit(v, true))
+		c.varOf[0] = v
+		return v
+	}
+	if c.b.isVar[idx] {
+		v := c.solver.NewVar()
+		c.varOf[idx] = v
+		return v
+	}
+	// Iterative post-order encoding to avoid deep recursion on long
+	// temporal chains.
+	type frame struct {
+		idx      int32
+		expanded bool
+	}
+	stack := []frame{{idx, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, done := c.varOf[f.idx]; done {
+			continue
+		}
+		if f.idx == 0 || c.b.isVar[f.idx] {
+			c.encodeLeaf(f.idx)
+			continue
+		}
+		g := c.b.gates[f.idx]
+		ai, bi := g.a.index(), g.b.index()
+		_, aDone := c.varOf[ai]
+		_, bDone := c.varOf[bi]
+		if f.expanded || (aDone && bDone) {
+			if !aDone {
+				c.encodeLeaf(ai)
+			}
+			if !bDone {
+				c.encodeLeaf(bi)
+			}
+			c.emitAnd(f.idx, g)
+			continue
+		}
+		stack = append(stack, frame{f.idx, true})
+		if !aDone {
+			stack = append(stack, frame{ai, false})
+		}
+		if !bDone {
+			stack = append(stack, frame{bi, false})
+		}
+	}
+	return c.varOf[idx]
+}
+
+func (c *CNF) encodeLeaf(idx int32) {
+	if _, ok := c.varOf[idx]; ok {
+		return
+	}
+	v := c.solver.NewVar()
+	c.varOf[idx] = v
+	if idx == 0 {
+		c.solver.AddClause(sat.NewLit(v, true))
+	}
+}
+
+func (c *CNF) emitAnd(idx int32, g gate) {
+	if _, ok := c.varOf[idx]; ok {
+		return
+	}
+	v := c.solver.NewVar()
+	c.varOf[idx] = v
+	out := sat.NewLit(v, false)
+	a := c.litOf(g.a)
+	b := c.litOf(g.b)
+	// v <-> a AND b
+	c.solver.AddClause(out.Not(), a)
+	c.solver.AddClause(out.Not(), b)
+	c.solver.AddClause(out, a.Not(), b.Not())
+}
+
+func (c *CNF) litOf(n Node) sat.Lit {
+	v, ok := c.varOf[n.index()]
+	if !ok {
+		panic(fmt.Sprintf("logic: child node %d not yet encoded", n.index()))
+	}
+	return sat.NewLit(v, n.compl())
+}
+
+// Assert adds a unit clause requiring node n to be true.
+func (c *CNF) Assert(n Node) { c.solver.AddClause(c.Lit(n)) }
+
+// InputValue reads the value of an input node from a sat model.
+func (c *CNF) InputValue(model []bool, n Node) bool {
+	v, ok := c.varOf[n.index()]
+	if !ok {
+		return false // unconstrained input: any value works; pick false
+	}
+	val := model[v]
+	if n.compl() {
+		return !val
+	}
+	return val
+}

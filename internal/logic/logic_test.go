@@ -1,0 +1,213 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fveval/internal/sat"
+)
+
+func TestConstantFolding(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	cases := []struct {
+		got, want Node
+		name      string
+	}{
+		{b.And(False, x), False, "0&x"},
+		{b.And(x, False), False, "x&0"},
+		{b.And(True, x), x, "1&x"},
+		{b.And(x, True), x, "x&1"},
+		{b.And(x, x), x, "x&x"},
+		{b.And(x, x.Not()), False, "x&!x"},
+		{b.Or(x, True), True, "x|1"},
+		{b.Or(x, x.Not()), True, "x|!x"},
+		{b.Xor(x, x), False, "x^x"},
+		{b.Xor(x, False), x, "x^0"},
+		{b.Xor(x, True), x.Not(), "x^1"},
+		{b.Mux(True, x, x.Not()), x, "mux1"},
+		{b.Mux(False, x, x.Not()), x.Not(), "mux0"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	y := b.Input("y")
+	a1 := b.And(x, y)
+	a2 := b.And(y, x)
+	if a1 != a2 {
+		t.Fatalf("commutative ANDs must hash to the same node")
+	}
+	n := b.NumNodes()
+	b.And(x, y)
+	if b.NumNodes() != n {
+		t.Fatalf("repeated AND must not allocate")
+	}
+}
+
+func TestEval(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	f := b.Or(b.And(x, y), b.And(x.Not(), z)) // mux(x, y, z)
+	for mask := 0; mask < 8; mask++ {
+		env := map[Node]bool{
+			x: mask&1 != 0, y: mask&2 != 0, z: mask&4 != 0,
+		}
+		want := env[z]
+		if env[x] {
+			want = env[y]
+		}
+		if got := b.Eval(f, env, nil); got != want {
+			t.Fatalf("mask %d: got %v want %v", mask, got, want)
+		}
+	}
+}
+
+func TestCNFAgreesWithEval(t *testing.T) {
+	// Property: for random circuits, the CNF encoding is satisfiable with
+	// output true exactly when some input assignment makes Eval true,
+	// and returned models evaluate to true.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		nIn := 2 + rng.Intn(5)
+		var ins []Node
+		for i := 0; i < nIn; i++ {
+			ins = append(ins, b.Input("i"))
+		}
+		pool := append([]Node(nil), ins...)
+		for i := 0; i < 12; i++ {
+			x := pool[rng.Intn(len(pool))]
+			y := pool[rng.Intn(len(pool))]
+			if rng.Intn(2) == 0 {
+				x = x.Not()
+			}
+			var n Node
+			switch rng.Intn(3) {
+			case 0:
+				n = b.And(x, y)
+			case 1:
+				n = b.Or(x, y)
+			default:
+				n = b.Xor(x, y)
+			}
+			pool = append(pool, n)
+		}
+		out := pool[len(pool)-1]
+
+		// brute force
+		anyTrue := false
+		for mask := 0; mask < 1<<uint(nIn); mask++ {
+			env := map[Node]bool{}
+			for i, in := range ins {
+				env[in] = mask&(1<<uint(i)) != 0
+			}
+			if b.Eval(out, env, nil) {
+				anyTrue = true
+				break
+			}
+		}
+
+		s := sat.New()
+		c := NewCNF(b, s)
+		c.Assert(out)
+		ok, model, err := s.SolveModel()
+		if err != nil {
+			return false
+		}
+		if ok != anyTrue {
+			return false
+		}
+		if ok {
+			env := map[Node]bool{}
+			for _, in := range ins {
+				env[in] = c.InputValue(model, in)
+			}
+			if !b.Eval(out, env, nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCNFUnsat(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	s := sat.New()
+	c := NewCNF(b, s)
+	c.Assert(b.And(x, x.Not()))
+	ok, _ := s.Solve()
+	if ok {
+		t.Fatalf("x AND !x must be UNSAT")
+	}
+}
+
+func TestConstTrueAssertion(t *testing.T) {
+	b := NewBuilder()
+	s := sat.New()
+	c := NewCNF(b, s)
+	c.Assert(True)
+	ok, _ := s.Solve()
+	if !ok {
+		t.Fatalf("asserting true must stay SAT")
+	}
+	c.Assert(False)
+	ok, _ = s.Solve()
+	if ok {
+		t.Fatalf("asserting false must be UNSAT")
+	}
+}
+
+func TestDeepChainEncoding(t *testing.T) {
+	// A long AND chain must encode without recursion issues.
+	b := NewBuilder()
+	acc := True
+	var ins []Node
+	for i := 0; i < 5000; i++ {
+		in := b.Input("x")
+		ins = append(ins, in)
+		acc = b.And(acc, in)
+	}
+	s := sat.New()
+	c := NewCNF(b, s)
+	c.Assert(acc)
+	ok, model, err := s.SolveModel()
+	if err != nil || !ok {
+		t.Fatalf("chain must be SAT: %v %v", ok, err)
+	}
+	for _, in := range ins {
+		if !c.InputValue(model, in) {
+			t.Fatalf("all chain inputs must be true")
+		}
+	}
+}
+
+func TestAndAllOrAll(t *testing.T) {
+	b := NewBuilder()
+	if b.AndAll() != True {
+		t.Fatalf("empty AndAll must be True")
+	}
+	if b.OrAll() != False {
+		t.Fatalf("empty OrAll must be False")
+	}
+	x, y := b.Input("x"), b.Input("y")
+	if b.AndAll(x, y) != b.And(x, y) {
+		t.Fatalf("AndAll(x,y) != And(x,y)")
+	}
+	if b.OrAll(x, y) != b.Or(x, y) {
+		t.Fatalf("OrAll(x,y) != Or(x,y)")
+	}
+}

@@ -1,0 +1,609 @@
+// Package mc model-checks SVA assertions against elaborated RTL — the
+// role of the commercial tool's proof engines in the paper's
+// Design2SVA evaluation. Safety properties are falsified with bounded
+// model checking and proven with k-induction; liveness properties are
+// falsified with lasso-shaped bounded search (absence of a lasso
+// counterexample within the bound is reported as a bounded proof).
+//
+// Reset handling follows the formal-testbench convention of the
+// benchmark: registers start from their post-reset values, reset
+// inputs are free afterwards, and "disable iff" aborts discharge an
+// attempt whenever the abort fires inside the attempt's window. With a
+// free abort signal this approximation is exact for both falsification
+// and proof (see DESIGN.md §4).
+package mc
+
+import (
+	"fmt"
+
+	"fveval/internal/bitvec"
+	"fveval/internal/logic"
+	"fveval/internal/ltl"
+	"fveval/internal/rtl"
+	"fveval/internal/sat"
+	"fveval/internal/sva"
+)
+
+// Status classifies a check result.
+type Status int
+
+// Status values.
+const (
+	Unknown Status = iota
+	Proven
+	Falsified
+)
+
+func (s Status) String() string {
+	switch s {
+	case Proven:
+		return "proven"
+	case Falsified:
+		return "falsified"
+	}
+	return "unknown"
+}
+
+// Cex is a counterexample: per-frame values of inputs and registers.
+type Cex struct {
+	Frames []map[string]uint64
+	Loop   int // -1 for finite (safety) traces
+}
+
+// Result of checking one assertion.
+type Result struct {
+	Status Status
+	// Bounded marks liveness verdicts established only up to the
+	// search bound (no unbounded liveness proof engine).
+	Bounded bool
+	// Depth is the BMC depth or induction length used.
+	Depth int
+	Cex   *Cex
+}
+
+// Options tunes the checker.
+type Options struct {
+	MaxInduction int   // max k for k-induction (default 10)
+	BMCDepth     int   // plain BMC falsification depth (default 16)
+	LassoBound   int   // lasso length for liveness (default 10)
+	Budget       int64 // SAT conflict budget per query (0 = unlimited)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInduction == 0 {
+		o.MaxInduction = 10
+	}
+	if o.BMCDepth == 0 {
+		o.BMCDepth = 16
+	}
+	if o.LassoBound == 0 {
+		o.LassoBound = 10
+	}
+	return o
+}
+
+// CheckAssertion proves or falsifies an assertion against the system.
+// Assumptions declared in the system (assume property) constrain the
+// explored traces.
+func CheckAssertion(sys *rtl.System, a *sva.Assertion, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	f, err := ltl.LowerAssertion(a)
+	if err != nil {
+		return Result{}, err
+	}
+	var abort sva.Expr
+	if a.DisableIff != nil {
+		abort = a.DisableIff
+	}
+	assumes, err := lowerAssumes(sys)
+	if err != nil {
+		return Result{}, err
+	}
+	if ltl.HasUnbounded(f) {
+		return checkLiveness(sys, f, abort, assumes, opt)
+	}
+	return checkSafety(sys, f, abort, assumes, opt)
+}
+
+// CheckCover decides reachability for a cover property: whether some
+// trace from reset (satisfying the system's assumptions) reaches a
+// position where the property holds. Covered results carry the witness
+// trace.
+func CheckCover(sys *rtl.System, a *sva.Assertion, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	f, err := ltl.LowerAssertion(a)
+	if err != nil {
+		return Result{}, err
+	}
+	if ltl.HasUnbounded(f) {
+		return Result{}, &ltl.LowerError{Reason: "unbounded cover properties are not supported"}
+	}
+	assumes, err := lowerAssumes(sys)
+	if err != nil {
+		return Result{}, err
+	}
+	d := ltl.Depth(f)
+	n := opt.BMCDepth + d + 1
+	b := logic.NewBuilder()
+	fe := newFrameEnv(b, sys)
+	fe.initFrame0(false)
+	if err := fe.unroll(n); err != nil {
+		return Result{}, err
+	}
+	le := ltl.NewLassoEval(fe.ev, n, n-1)
+	hit := logic.False
+	for p := 0; p < opt.BMCDepth; p++ {
+		t, err := le.Truth(f, p)
+		if err != nil {
+			return Result{}, err
+		}
+		hit = b.Or(hit, t)
+	}
+	asm, err := assumeConstraint(le, assumes, n)
+	if err != nil {
+		return Result{}, err
+	}
+	s := sat.New()
+	if opt.Budget > 0 {
+		s.SetBudget(opt.Budget)
+	}
+	cnf := logic.NewCNF(b, s)
+	cnf.Assert(b.And(hit, asm))
+	ok, model, err := s.SolveModel()
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		// not reachable within the bound
+		return Result{Status: Falsified, Bounded: true, Depth: opt.BMCDepth}, nil
+	}
+	return Result{Status: Proven, Depth: opt.BMCDepth,
+		Cex: decodeCex(sys, fe, cnf, model, n, -1)}, nil
+}
+
+// lowerAssumes lowers the system's assumptions; only bounded
+// assumption properties are supported (standard for stimulus
+// constraints).
+func lowerAssumes(sys *rtl.System) ([]ltl.Formula, error) {
+	var out []ltl.Formula
+	for _, a := range sys.Assumes {
+		f, err := ltl.LowerAssertion(a)
+		if err != nil {
+			return nil, err
+		}
+		if ltl.HasUnbounded(f) {
+			return nil, &ltl.LowerError{Reason: "unbounded assume properties are not supported"}
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// assumeConstraint conjoins every assumption at every position whose
+// bounded window fits inside the unrolling.
+func assumeConstraint(le *ltl.LassoEval, assumes []ltl.Formula, frames int) (logic.Node, error) {
+	acc := logic.True
+	for _, f := range assumes {
+		d := ltl.Depth(f)
+		for p := 0; p+d < frames; p++ {
+			n, err := le.Truth(f, p)
+			if err != nil {
+				return logic.False, err
+			}
+			acc = le.Ev.Ops.B.And(acc, n)
+		}
+	}
+	return acc, nil
+}
+
+// frameEnv implements ltl.Env over an unrolled transition system.
+type frameEnv struct {
+	b   *logic.Builder
+	sys *rtl.System
+	ev  *ltl.ExprEval
+
+	inputs map[sigPos]bitvec.BV
+	states map[sigPos]bitvec.BV
+	nets   map[sigPos]bitvec.BV
+	busy   map[sigPos]bool
+}
+
+type sigPos struct {
+	name string
+	pos  int
+}
+
+func newFrameEnv(b *logic.Builder, sys *rtl.System) *frameEnv {
+	fe := &frameEnv{
+		b:      b,
+		sys:    sys,
+		inputs: map[sigPos]bitvec.BV{},
+		states: map[sigPos]bitvec.BV{},
+		nets:   map[sigPos]bitvec.BV{},
+		busy:   map[sigPos]bool{},
+	}
+	fe.ev = &ltl.ExprEval{Ops: bitvec.Ops{B: b}, Env: fe}
+	return fe
+}
+
+// initFrame0 seats frame-0 register values: concrete reset values, or
+// fresh variables for the inductive step.
+func (fe *frameEnv) initFrame0(free bool) {
+	for _, r := range fe.sys.Regs {
+		key := sigPos{r.Name, 0}
+		if free {
+			fe.states[key] = bitvec.Inputs(fe.b, r.Name+"@0", r.Width)
+		} else {
+			fe.states[key] = bitvec.Const(r.Init, r.Width)
+		}
+	}
+}
+
+// unroll extends register states through frame n (exclusive).
+func (fe *frameEnv) unroll(n int) error {
+	for p := 1; p < n; p++ {
+		if _, ok := fe.states[sigPos{firstRegName(fe.sys), p}]; ok && len(fe.sys.Regs) > 0 {
+			continue
+		}
+		for _, r := range fe.sys.Regs {
+			next, err := fe.ev.Eval(r.Next, p-1)
+			if err != nil {
+				return err
+			}
+			fe.states[sigPos{r.Name, p}] = next.Extend(r.Width)
+		}
+	}
+	return nil
+}
+
+func firstRegName(sys *rtl.System) string {
+	if len(sys.Regs) > 0 {
+		return sys.Regs[0].Name
+	}
+	return ""
+}
+
+// Signal implements ltl.Env.
+func (fe *frameEnv) Signal(name string, pos int) (bitvec.BV, error) {
+	key := sigPos{name, pos}
+	if v, ok := fe.states[key]; ok {
+		return v, nil
+	}
+	if fe.sys.IsInput(name) {
+		if v, ok := fe.inputs[key]; ok {
+			return v, nil
+		}
+		w := fe.sys.Widths[name]
+		v := bitvec.Inputs(fe.b, fmt.Sprintf("%s@%d", name, pos), w)
+		fe.inputs[key] = v
+		return v, nil
+	}
+	if _, isReg := fe.sys.RegByName(name); isReg {
+		// register value requested beyond the unrolled range
+		return bitvec.BV{}, &ltl.ElabError{Reason: fmt.Sprintf("register %s not unrolled at %d", name, pos)}
+	}
+	if net, ok := fe.sys.NetByName(name); ok {
+		if v, ok := fe.nets[key]; ok {
+			return v, nil
+		}
+		if fe.busy[key] {
+			return bitvec.BV{}, &ltl.ElabError{Reason: "combinational loop through \"" + name + "\""}
+		}
+		fe.busy[key] = true
+		v, err := fe.ev.Eval(net.Expr, pos)
+		if err != nil {
+			return bitvec.BV{}, err
+		}
+		delete(fe.busy, key)
+		v = v.Extend(net.Width)
+		fe.nets[key] = v
+		return v, nil
+	}
+	return bitvec.BV{}, &ltl.ElabError{Reason: fmt.Sprintf("undeclared identifier %q", name)}
+}
+
+// SignalWidth implements ltl.Env.
+func (fe *frameEnv) SignalWidth(name string) (int, bool) {
+	w, ok := fe.sys.Widths[name]
+	return w, ok
+}
+
+// Constant implements ltl.Env.
+func (fe *frameEnv) Constant(name string) (uint64, int, bool) {
+	c, ok := fe.sys.Consts[name]
+	return c.Value, c.Width, ok
+}
+
+// violation builds "attempt at position p fails and is not aborted":
+// the property is false at p and the abort expression stays low across
+// the attempt window.
+func violation(fe *frameEnv, le *ltl.LassoEval, f ltl.Formula, abort sva.Expr, p, window int, lasso bool) (logic.Node, error) {
+	truth, err := le.Truth(f, p)
+	if err != nil {
+		return logic.False, err
+	}
+	viol := truth.Not()
+	if abort != nil {
+		if lasso {
+			for _, j := range lassoReach(le, p) {
+				ab, err := fe.ev.Bool(abort, j)
+				if err != nil {
+					return logic.False, err
+				}
+				viol = fe.b.And(viol, ab.Not())
+			}
+		} else {
+			for j := p; j <= p+window && j < le.K; j++ {
+				ab, err := fe.ev.Bool(abort, j)
+				if err != nil {
+					return logic.False, err
+				}
+				viol = fe.b.And(viol, ab.Not())
+			}
+		}
+	}
+	return viol, nil
+}
+
+func lassoReach(le *ltl.LassoEval, p int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for j := p; j < le.K; j++ {
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	for j := le.L; j < le.K; j++ {
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func checkSafety(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, opt Options) (Result, error) {
+	d := ltl.Depth(f)
+	// Interleave BMC base cases with induction steps.
+	for k := 1; k <= opt.MaxInduction; k++ {
+		// Base: frames 0..k+d from reset; attempts 0..k-1.
+		cex, err := safetyQuery(sys, f, abort, assumes, k, d, false, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		if cex != nil {
+			return Result{Status: Falsified, Depth: k, Cex: cex}, nil
+		}
+		// Step: free initial state; no violation in 0..k-1, violation
+		// at k.
+		ind, err := inductionStep(sys, f, abort, assumes, k, d, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		if ind {
+			return Result{Status: Proven, Depth: k}, nil
+		}
+	}
+	// Deep falsification attempt before giving up.
+	cex, err := safetyQuery(sys, f, abort, assumes, opt.BMCDepth, d, false, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	if cex != nil {
+		return Result{Status: Falsified, Depth: opt.BMCDepth, Cex: cex}, nil
+	}
+	return Result{Status: Unknown, Depth: opt.BMCDepth}, nil
+}
+
+// safetyQuery searches for a violated attempt among positions
+// 0..attempts-1 starting from the reset state.
+func safetyQuery(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, attempts, d int, freeInit bool, opt Options) (*Cex, error) {
+	n := attempts + d + 1
+	b := logic.NewBuilder()
+	fe := newFrameEnv(b, sys)
+	fe.initFrame0(freeInit)
+	if err := fe.unroll(n); err != nil {
+		return nil, err
+	}
+	le := ltl.NewLassoEval(fe.ev, n, n-1)
+	total := logic.False
+	for p := 0; p < attempts; p++ {
+		v, err := violation(fe, le, f, abort, p, d, false)
+		if err != nil {
+			return nil, err
+		}
+		total = b.Or(total, v)
+	}
+	asm, err := assumeConstraint(le, assumes, n)
+	if err != nil {
+		return nil, err
+	}
+	s := sat.New()
+	if opt.Budget > 0 {
+		s.SetBudget(opt.Budget)
+	}
+	cnf := logic.NewCNF(b, s)
+	cnf.Assert(b.And(total, asm))
+	ok, model, err := s.SolveModel()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return decodeCex(sys, fe, cnf, model, n, -1), nil
+}
+
+// inductionStep checks whether k consecutive good attempts from an
+// arbitrary state force the k+1st to be good. true = inductive.
+func inductionStep(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, k, d int, opt Options) (bool, error) {
+	n := k + d + 2
+	b := logic.NewBuilder()
+	fe := newFrameEnv(b, sys)
+	fe.initFrame0(true)
+	if err := fe.unroll(n); err != nil {
+		return false, err
+	}
+	le := ltl.NewLassoEval(fe.ev, n, n-1)
+	s := sat.New()
+	if opt.Budget > 0 {
+		s.SetBudget(opt.Budget)
+	}
+	cnf := logic.NewCNF(b, s)
+	asm, err := assumeConstraint(le, assumes, n)
+	if err != nil {
+		return false, err
+	}
+	cnf.Assert(asm)
+	for p := 0; p < k; p++ {
+		v, err := violation(fe, le, f, abort, p, d, false)
+		if err != nil {
+			return false, err
+		}
+		cnf.Assert(v.Not())
+	}
+	v, err := violation(fe, le, f, abort, k, d, false)
+	if err != nil {
+		return false, err
+	}
+	cnf.Assert(v)
+	okSat, err := s.Solve()
+	if err != nil {
+		return false, err
+	}
+	return !okSat, nil
+}
+
+func checkLiveness(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, opt Options) (Result, error) {
+	k := opt.LassoBound
+	if d := ltl.Depth(f) + 3; d > k {
+		k = d
+	}
+	b := logic.NewBuilder()
+	fe := newFrameEnv(b, sys)
+	fe.initFrame0(false)
+	if err := fe.unroll(k); err != nil {
+		return Result{}, err
+	}
+	ops := bitvec.Ops{B: b}
+	perLoop := map[int]logic.Node{}
+	total := logic.False
+	for l := 0; l < k; l++ {
+		le := ltl.NewLassoEval(fe.ev, k, l)
+		// loop closure: next-state of frame k-1 equals state at l —
+		// and the loop's input columns repeat by construction.
+		closure := logic.True
+		for _, r := range sys.Regs {
+			next, err := fe.ev.Eval(r.Next, k-1)
+			if err != nil {
+				return Result{}, err
+			}
+			at, err := fe.Signal(r.Name, l)
+			if err != nil {
+				return Result{}, err
+			}
+			closure = b.And(closure, ops.Eq(next.Extend(r.Width), at))
+		}
+		// inputs must repeat across the loop seam for the lasso to be
+		// a genuine infinite trace.
+		viol := logic.False
+		for p := 0; p < k; p++ {
+			v, err := violation(fe, le, f, abort, p, 0, true)
+			if err != nil {
+				return Result{}, err
+			}
+			viol = b.Or(viol, v)
+		}
+		// assumptions hold at every lasso position
+		for _, af := range assumes {
+			for p := 0; p < k; p++ {
+				an, err := le.Truth(af, p)
+				if err != nil {
+					return Result{}, err
+				}
+				closure = b.And(closure, an)
+			}
+		}
+		node := b.And(closure, viol)
+		perLoop[l] = node
+		total = b.Or(total, node)
+	}
+	s := sat.New()
+	if opt.Budget > 0 {
+		s.SetBudget(opt.Budget)
+	}
+	cnf := logic.NewCNF(b, s)
+	cnf.Assert(total)
+	ok, model, err := s.SolveModel()
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		return Result{Status: Proven, Bounded: true, Depth: k}, nil
+	}
+	loop := -1
+	assign := inputAssign(fe, cnf, model)
+	cache := map[int32]bool{}
+	for l, node := range perLoop {
+		if b.Eval(node, assign, cache) {
+			loop = l
+			break
+		}
+	}
+	return Result{Status: Falsified, Depth: k, Cex: decodeCex(sys, fe, cnf, model, k, loop)}, nil
+}
+
+func inputAssign(fe *frameEnv, cnf *logic.CNF, model []bool) map[logic.Node]bool {
+	assign := map[logic.Node]bool{}
+	for _, bv := range fe.inputs {
+		for _, bit := range bv.Bits {
+			if !bit.IsConst() {
+				assign[bit] = cnf.InputValue(model, bit)
+			}
+		}
+	}
+	for _, bv := range fe.states {
+		for _, bit := range bv.Bits {
+			if !bit.IsConst() {
+				assign[bit] = cnf.InputValue(model, bit)
+			}
+		}
+	}
+	return assign
+}
+
+func decodeCex(sys *rtl.System, fe *frameEnv, cnf *logic.CNF, model []bool, n, loop int) *Cex {
+	assign := inputAssign(fe, cnf, model)
+	cex := &Cex{Loop: loop}
+	b := fe.b
+	cache := map[int32]bool{}
+	for p := 0; p < n; p++ {
+		frame := map[string]uint64{}
+		for _, in := range sys.Inputs {
+			if bv, ok := fe.inputs[sigPos{in.Name, p}]; ok {
+				frame[in.Name] = decodeBV(b, bv, assign, cache)
+			}
+		}
+		for _, r := range sys.Regs {
+			if bv, ok := fe.states[sigPos{r.Name, p}]; ok {
+				frame[r.Name] = decodeBV(b, bv, assign, cache)
+			}
+		}
+		cex.Frames = append(cex.Frames, frame)
+	}
+	return cex
+}
+
+func decodeBV(b *logic.Builder, bv bitvec.BV, assign map[logic.Node]bool, cache map[int32]bool) uint64 {
+	var v uint64
+	for i, bit := range bv.Bits {
+		if i >= 64 {
+			break
+		}
+		if b.Eval(bit, assign, cache) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,307 @@
+package mc
+
+import (
+	"testing"
+
+	"fveval/internal/rtl"
+	"fveval/internal/sva"
+)
+
+const fsmSrc = `
+module fsm(clk, reset_, in_A, in_B, fsm_out);
+parameter WIDTH = 8;
+parameter FSM_WIDTH = 2;
+parameter S0 = 2'b00;
+parameter S1 = 2'b01;
+parameter S2 = 2'b10;
+parameter S3 = 2'b11;
+input clk;
+input reset_;
+input [WIDTH-1:0] in_A;
+input [WIDTH-1:0] in_B;
+output reg [FSM_WIDTH-1:0] fsm_out;
+reg [FSM_WIDTH-1:0] state, next_state;
+always_ff @(posedge clk or negedge reset_) begin
+  if (!reset_) begin
+    state <= S0;
+  end else begin
+    state <= next_state;
+  end
+end
+always_comb begin
+  case(state)
+    S0: begin next_state = S2; end
+    S1: begin next_state = S3; end
+    S2: begin
+      if (in_A == in_B) begin next_state = S0; end
+      else begin next_state = S1; end
+    end
+    S3: begin next_state = S1; end
+    default: begin next_state = S0; end
+  endcase
+end
+always_comb begin
+  fsm_out = state;
+end
+endmodule
+`
+
+func fsmSystem(t *testing.T) *rtl.System {
+	t.Helper()
+	f, err := rtl.Parse(fsmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := rtl.Elaborate(f, "fsm", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func check(t *testing.T, sys *rtl.System, src string) Result {
+	t.Helper()
+	a, err := sva.ParseAssertion(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	res, err := CheckAssertion(sys, a, Options{})
+	if err != nil {
+		t.Fatalf("check %q: %v", src, err)
+	}
+	return res
+}
+
+func TestFSMSafetyProofs(t *testing.T) {
+	sys := fsmSystem(t)
+	proven := []string{
+		// S2's successors are S0 or S1.
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state == 2'b10 |-> (next_state == 2'b00 || next_state == 2'b01));`,
+		// the FSM never reaches S2 from S1 in one step
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state == 2'b01 |-> ##1 (state != 2'b10));`,
+		// fsm_out mirrors state
+		`assert property (@(posedge clk) fsm_out == state);`,
+		// S0 always transitions to S2 (with reset free, the attempt is
+		// aborted when reset strikes mid-attempt)
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state == 2'b00 |-> ##1 state == 2'b10);`,
+	}
+	for _, src := range proven {
+		res := check(t, sys, src)
+		if res.Status != Proven {
+			t.Errorf("expected proven, got %v (depth %d)\n%s", res.Status, res.Depth, src)
+			if res.Cex != nil {
+				t.Logf("cex: %+v", res.Cex.Frames)
+			}
+		}
+	}
+}
+
+func TestFSMSafetyFalsifications(t *testing.T) {
+	sys := fsmSystem(t)
+	falsified := []string{
+		// wrong: claims S2 -> S3 possible next is S3 only
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state == 2'b10 |-> ##1 state == 2'b11);`,
+		// wrong: claims the FSM never visits S3
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state != 2'b11);`,
+		// wrong data relation
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state == 2'b10 |-> in_A == in_B);`,
+	}
+	for _, src := range falsified {
+		res := check(t, sys, src)
+		if res.Status != Falsified {
+			t.Errorf("expected falsified, got %v\n%s", res.Status, src)
+		}
+		if res.Status == Falsified && res.Cex == nil {
+			t.Errorf("falsified without counterexample: %s", src)
+		}
+	}
+}
+
+func TestVacuousDisable(t *testing.T) {
+	sys := fsmSystem(t)
+	// disable iff (reset_) with active-low reset: any attempt where
+	// reset_ stays high is aborted... but reset_ low resets the FSM.
+	// A wrong body guarded this way can still be falsified with
+	// reset_ low at the right moment only if the body can fail while
+	// reset_ is 0 — state is forced to S0 then. This one is proven
+	// (vacuously or not) — it documents the paper's Fig. 9 setup where
+	// gpt-4o used disable iff (reset_).
+	res := check(t, sys, `assert property (@(posedge clk) disable iff (reset_)
+		state == 2'b10 |-> (next_state == 2'b00 || next_state == 2'b01 || next_state == 2'b11));`)
+	if res.Status != Proven {
+		t.Errorf("expected proven, got %v", res.Status)
+	}
+}
+
+func TestCounterProofs(t *testing.T) {
+	src := `
+module ctr(clk, reset_, en, cnt);
+input clk;
+input reset_;
+input en;
+output reg [3:0] cnt;
+always @(posedge clk) begin
+  if (!reset_) cnt <= 'd0;
+  else if (en) begin
+    if (cnt == 4'd9) cnt <= 'd0;
+    else cnt <= cnt + 'd1;
+  end
+end
+endmodule`
+	f, err := rtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := rtl.Elaborate(f, "ctr", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// invariant: counter stays below 10 — needs induction over the
+	// range invariant, which plain k-induction finds at k=1 because
+	// the invariant is inductive.
+	res := check(t, sys, `assert property (@(posedge clk) disable iff (!reset_) cnt <= 4'd9);`)
+	if res.Status != Proven {
+		t.Errorf("range invariant: %v (depth %d)", res.Status, res.Depth)
+	}
+	// wrong bound is falsified
+	res = check(t, sys, `assert property (@(posedge clk) disable iff (!reset_) cnt <= 4'd8);`)
+	if res.Status != Falsified {
+		t.Errorf("wrong bound: %v", res.Status)
+	}
+	// step relation
+	res = check(t, sys, `assert property (@(posedge clk) disable iff (!reset_)
+		(en && cnt < 4'd9) |-> ##1 cnt == ($past(cnt) + 4'd1));`)
+	if res.Status != Proven {
+		t.Errorf("step relation: %v (depth %d)", res.Status, res.Depth)
+	}
+}
+
+func TestPipelineValidPropagation(t *testing.T) {
+	src := `
+module pipe(clk, reset_, in_vld, out_vld);
+input clk;
+input reset_;
+input in_vld;
+output out_vld;
+reg [2:0] r;
+always @(posedge clk) begin
+  if (!reset_) r <= 'd0;
+  else r <= {r[1:0], in_vld};
+end
+assign out_vld = r[2];
+endmodule`
+	f, err := rtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := rtl.Elaborate(f, "pipe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, sys, `assert property (@(posedge clk) disable iff (!reset_)
+		in_vld |-> ##3 out_vld);`)
+	if res.Status != Proven {
+		t.Errorf("valid propagation: %v (depth %d)", res.Status, res.Depth)
+		if res.Cex != nil {
+			t.Logf("cex: %+v loop=%d", res.Cex.Frames, res.Cex.Loop)
+		}
+	}
+	res = check(t, sys, `assert property (@(posedge clk) disable iff (!reset_)
+		in_vld |-> ##2 out_vld);`)
+	if res.Status != Falsified {
+		t.Errorf("wrong latency must fail: %v", res.Status)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	// A one-hot rotating token: the token eventually returns.
+	src := `
+module rot(clk, reset_, tok);
+input clk;
+input reset_;
+output reg [2:0] tok;
+always @(posedge clk) begin
+  if (!reset_) tok <= 3'b001;
+  else tok <= {tok[1:0], tok[2]};
+end
+endmodule`
+	f, err := rtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := rtl.Elaborate(f, "rot", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, sys, `assert property (@(posedge clk) disable iff (!reset_)
+		s_eventually tok[0]);`)
+	if res.Status != Proven {
+		t.Errorf("token liveness: %v", res.Status)
+	}
+	if !res.Bounded {
+		t.Errorf("liveness proof must be flagged bounded")
+	}
+	// tok[0] and tok[1] are never simultaneously... liveness failure:
+	// claiming the token eventually disappears is false.
+	res = check(t, sys, `assert property (@(posedge clk) disable iff (!reset_)
+		s_eventually (tok == 3'b000));`)
+	if res.Status != Falsified {
+		t.Errorf("false liveness must be falsified: %v", res.Status)
+	}
+	if res.Cex == nil || res.Cex.Loop < 0 {
+		t.Errorf("liveness cex must carry a loop")
+	}
+}
+
+func TestUnknownOnHardProperty(t *testing.T) {
+	// A modular-arithmetic relation that k-induction at small k cannot
+	// prove and BMC cannot refute: expect Unknown, not a wrong answer.
+	src := `
+module lfsr(clk, reset_, s);
+input clk;
+input reset_;
+output reg [7:0] s;
+always @(posedge clk) begin
+  if (!reset_) s <= 8'd1;
+  else s <= {s[6:0], s[7] ^ s[5]};
+end
+endmodule`
+	f, err := rtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := rtl.Elaborate(f, "lfsr", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sva.ParseAssertion(`assert property (@(posedge clk) disable iff (!reset_) s != 8'd0);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckAssertion(sys, a, Options{MaxInduction: 2, BMCDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The nonzero invariant is true but not 2-inductive; the checker
+	// must not claim Falsified.
+	if res.Status == Falsified {
+		t.Errorf("must not falsify a true property: %v", res.Status)
+	}
+}
+
+func TestElaborationErrorSurfaces(t *testing.T) {
+	sys := fsmSystem(t)
+	a, err := sva.ParseAssertion(`assert property (@(posedge clk) ghost_signal == 1'b1);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckAssertion(sys, a, Options{}); err == nil {
+		t.Fatalf("expected elaboration error for unknown signal")
+	}
+}

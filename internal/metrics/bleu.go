@@ -1,0 +1,234 @@
+// Package metrics implements the paper's scalar evaluation metrics:
+// BLEU over code tokens, the unbiased pass@k estimator, and the
+// approximate subword tokenizer used for the length-distribution
+// figures.
+package metrics
+
+import (
+	"math"
+	"strings"
+)
+
+// CodeTokens tokenizes SVA/SystemVerilog text for BLEU scoring:
+// identifiers, numbers, and operator glyphs become tokens.
+func CodeTokens(src string) []string {
+	var out []string
+	i := 0
+	isWord := func(c byte) bool {
+		return c == '_' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '\''
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isWord(c):
+			j := i
+			for j < len(src) && isWord(src[j]) {
+				j++
+			}
+			out = append(out, src[i:j])
+			i = j
+		default:
+			// multi-char operators
+			for _, op := range []string{"|->", "|=>", "<<<", ">>>", "===", "!==", "##", "&&", "||", "==", "!=", "<=", ">="} {
+				if strings.HasPrefix(src[i:], op) {
+					out = append(out, op)
+					i += len(op)
+					goto next
+				}
+			}
+			out = append(out, string(c))
+			i++
+		next:
+		}
+	}
+	return out
+}
+
+// BLEU computes smoothed BLEU-4 between a candidate and a reference
+// (both raw source strings, tokenized with CodeTokens). Smoothing adds
+// one to every n-gram count (Lin & Och smoothing), keeping short
+// assertions comparable.
+func BLEU(candidate, reference string) float64 {
+	cand := CodeTokens(candidate)
+	ref := CodeTokens(reference)
+	if len(cand) == 0 || len(ref) == 0 {
+		return 0
+	}
+	const maxN = 4
+	logSum := 0.0
+	for n := 1; n <= maxN; n++ {
+		match, total := ngramOverlap(cand, ref, n)
+		// +1 smoothing for n>1 per standard practice
+		var p float64
+		if n == 1 {
+			if total == 0 {
+				return 0
+			}
+			p = float64(match) / float64(total)
+			if p == 0 {
+				p = 1.0 / float64(2*total)
+			}
+		} else {
+			p = (float64(match) + 1) / (float64(total) + 1)
+		}
+		logSum += math.Log(p)
+	}
+	bleu := math.Exp(logSum / maxN)
+	// brevity penalty
+	if len(cand) < len(ref) {
+		bleu *= math.Exp(1 - float64(len(ref))/float64(len(cand)))
+	}
+	return bleu
+}
+
+func ngramOverlap(cand, ref []string, n int) (match, total int) {
+	if len(cand) < n {
+		return 0, 0
+	}
+	refCounts := map[string]int{}
+	for i := 0; i+n <= len(ref); i++ {
+		refCounts[strings.Join(ref[i:i+n], "\x00")]++
+	}
+	for i := 0; i+n <= len(cand); i++ {
+		total++
+		key := strings.Join(cand[i:i+n], "\x00")
+		if refCounts[key] > 0 {
+			refCounts[key]--
+			match++
+		}
+	}
+	return match, total
+}
+
+// PassAtK is the unbiased estimator from Chen et al. (2021):
+// 1 - C(n-c, k)/C(n, k) for n samples with c correct.
+func PassAtK(n, c, k int) float64 {
+	if k > n {
+		k = n
+	}
+	if n-c < k {
+		return 1.0
+	}
+	// compute 1 - prod_{i=n-c+1..n} (1 - k/i)
+	prod := 1.0
+	for i := n - c + 1; i <= n; i++ {
+		prod *= 1 - float64(k)/float64(i)
+	}
+	return 1 - prod
+}
+
+// Pearson computes the sample Pearson correlation coefficient.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Histogram bins values into equal-width buckets over [min, max] and
+// returns bucket labels with counts, for the figure reproductions.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+}
+
+// NewHistogram bins the values into n buckets.
+func NewHistogram(values []float64, n int) Histogram {
+	if len(values) == 0 || n <= 0 {
+		return Histogram{}
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	h := Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+	for _, v := range values {
+		b := int((v - lo) / (hi - lo) * float64(n))
+		if b >= n {
+			b = n - 1
+		}
+		h.Buckets[b]++
+	}
+	return h
+}
+
+// Render draws the histogram as ASCII rows.
+func (h Histogram) Render() string {
+	var b strings.Builder
+	maxC := 1
+	for _, c := range h.Buckets {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	step := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		lo := h.Lo + float64(i)*step
+		hi := lo + step
+		bar := strings.Repeat("#", c*40/maxC)
+		b.WriteString(strings.TrimRight(
+			padLeft(formatRange(lo, hi), 14)+" |"+bar+" "+itoa(c), " ") + "\n")
+	}
+	return b.String()
+}
+
+func formatRange(lo, hi float64) string {
+	return itoa(int(lo)) + "-" + itoa(int(hi))
+}
+
+func padLeft(s string, w int) string {
+	for len(s) < w {
+		s = " " + s
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,285 @@
+// Package nl naturalizes SVA assertions into English descriptions and
+// round-trip-parses descriptions back into logic. It substitutes for
+// the LLM naturalizer + LLM critic used in the paper's NL2SVA-Machine
+// data generation (§3.3): the naturalizer renders an assertion AST
+// through a seeded phrase grammar, and the critic re-parses the
+// description and checks it reproduces the source logic; failures
+// trigger a regeneration retry exactly as in the paper's flow.
+package nl
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"fveval/internal/sva"
+)
+
+// Naturalizer renders assertion ASTs to English. Sloppiness is the
+// probability of emitting an ambiguous rendering (dropping grouping
+// markers), which the critic is expected to catch.
+type Naturalizer struct {
+	Rng        *rand.Rand
+	Sloppiness float64
+}
+
+// pick selects a synonym.
+func (n *Naturalizer) pick(options ...string) string {
+	return options[n.Rng.Intn(len(options))]
+}
+
+// Describe renders the assertion body to a natural-language
+// description (without the "Create a SVA assertion that checks:"
+// prompt prefix).
+func (n *Naturalizer) Describe(a *sva.Assertion) (string, error) {
+	return n.prop(a.Body)
+}
+
+func (n *Naturalizer) prop(p sva.Property) (string, error) {
+	switch v := p.(type) {
+	case *sva.PropSeq:
+		if se, ok := v.S.(*sva.SeqExpr); ok {
+			cond, err := n.expr(se.E, true)
+			if err != nil {
+				return "", err
+			}
+			switch n.Rng.Intn(3) {
+			case 0:
+				return cond + ".", nil
+			case 1:
+				return "the assertion is satisfied when " + cond + ".", nil
+			default:
+				return "at every clock cycle, " + cond + ".", nil
+			}
+		}
+		return "", fmt.Errorf("nl: unsupported sequence property %s", v.S.String())
+	case *sva.PropImpl:
+		ante, ok := v.S.(*sva.SeqExpr)
+		if !ok {
+			return "", fmt.Errorf("nl: unsupported antecedent %s", v.S.String())
+		}
+		a, err := n.expr(ante.E, true)
+		if err != nil {
+			return "", err
+		}
+		delay, body, err := n.consequent(v.P, !v.Overlap)
+		if err != nil {
+			return "", err
+		}
+		lead := n.pick("If ", "When ", "Whenever ")
+		return lead + a + ", then " + delay + body + ".", nil
+	}
+	return "", fmt.Errorf("nl: unsupported property %T", p)
+}
+
+// consequent renders the right side of an implication; shifted marks
+// |=> (one extra cycle).
+func (n *Naturalizer) consequent(p sva.Property, shifted bool) (delay, body string, err error) {
+	switch v := p.(type) {
+	case *sva.PropSeq:
+		switch s := v.S.(type) {
+		case *sva.SeqExpr:
+			d := ""
+			if shifted {
+				d = n.pick("on the next clock cycle, ", "one clock cycle later, ")
+			} else {
+				d = n.pick("", "in the same cycle, ")
+			}
+			b, err := n.expr(s.E, true)
+			if err != nil {
+				return "", "", err
+			}
+			return d, b + n.pick(" must hold", "", " must be satisfied"), nil
+		case *sva.SeqDelay:
+			if s.L == nil {
+				inner, ok := s.R.(*sva.SeqExpr)
+				if !ok {
+					return "", "", fmt.Errorf("nl: unsupported delayed consequent %s", s.String())
+				}
+				b, err := n.expr(inner.E, true)
+				if err != nil {
+					return "", "", err
+				}
+				d, err := n.delayPhrase(s.D, shifted)
+				if err != nil {
+					return "", "", err
+				}
+				return d, b + n.pick(" must hold", "", " must be true"), nil
+			}
+		}
+	case *sva.PropEventually:
+		if v.Strong {
+			inner, ok := v.P.(*sva.PropSeq)
+			if ok {
+				if se, ok := inner.S.(*sva.SeqExpr); ok {
+					b, err := n.expr(se.E, true)
+					if err != nil {
+						return "", "", err
+					}
+					return n.pick("eventually, ", "at some point in the future, "),
+						b + " must hold", nil
+				}
+			}
+		}
+	}
+	return "", "", fmt.Errorf("nl: unsupported consequent %T", p)
+}
+
+func (n *Naturalizer) delayPhrase(d sva.Delay, shifted bool) (string, error) {
+	lo, hi := d.Lo, d.Hi
+	if shifted {
+		lo++
+		hi++
+	}
+	switch {
+	case d.Inf:
+		return "", fmt.Errorf("nl: unbounded delay in consequent phrase")
+	case lo == hi && lo == 1:
+		return n.pick("on the next clock cycle, ", "one clock cycle later, "), nil
+	case lo == hi:
+		return n.pick(
+			fmt.Sprintf("%d clock cycles later, ", lo),
+			fmt.Sprintf("after %d clock cycles, ", lo),
+		), nil
+	default:
+		return fmt.Sprintf("within %d to %d clock cycles, ", lo, hi), nil
+	}
+}
+
+// expr renders a boolean-layer expression. top marks the outermost
+// position (grouping markers optional there; required when nested,
+// except in sloppy renderings).
+func (n *Naturalizer) expr(e sva.Expr, top bool) (string, error) {
+	switch v := e.(type) {
+	case *sva.Binary:
+		switch v.Op {
+		case "&&":
+			x, err := n.expr(v.X, false)
+			if err != nil {
+				return "", err
+			}
+			y, err := n.expr(v.Y, false)
+			if err != nil {
+				return "", err
+			}
+			if !top || n.Rng.Intn(2) == 0 {
+				if n.Rng.Float64() < n.Sloppiness {
+					return x + " and " + y, nil // ambiguous when nested
+				}
+				return "both " + x + " and " + y, nil
+			}
+			return x + " and " + y, nil
+		case "||":
+			x, err := n.expr(v.X, false)
+			if err != nil {
+				return "", err
+			}
+			y, err := n.expr(v.Y, false)
+			if err != nil {
+				return "", err
+			}
+			if !top || n.Rng.Intn(2) == 0 {
+				if n.Rng.Float64() < n.Sloppiness {
+					return x + " or " + y, nil
+				}
+				return "either " + x + " or " + y, nil
+			}
+			return x + " or " + y, nil
+		}
+		return n.atom(e)
+	case *sva.Unary:
+		if v.Op == "!" {
+			if at, err := n.atom(e); err == nil {
+				return at, nil
+			}
+			inner, err := n.expr(v.X, false)
+			if err != nil {
+				return "", err
+			}
+			return "it is not the case that " + inner, nil
+		}
+		return n.atom(e)
+	default:
+		return n.atom(e)
+	}
+}
+
+// atom renders a leaf comparison/reduction pattern.
+func (n *Naturalizer) atom(e sva.Expr) (string, error) {
+	switch v := e.(type) {
+	case *sva.Ident:
+		return n.pick(v.Name+" is high", v.Name+" is true", v.Name+" is asserted"), nil
+	case *sva.Unary:
+		switch v.Op {
+		case "!":
+			if id, ok := v.X.(*sva.Ident); ok {
+				return n.pick(id.Name+" is low", id.Name+" is false", id.Name+" is deasserted"), nil
+			}
+		case "^":
+			if id, ok := v.X.(*sva.Ident); ok {
+				return n.pick(
+					id.Name+" has an odd number of bits set to '1'",
+					id.Name+" has odd parity",
+				), nil
+			}
+		case "&":
+			if id, ok := v.X.(*sva.Ident); ok {
+				return n.pick(
+					"all bits of "+id.Name+" are 1",
+					"every bit of "+id.Name+" is set",
+				), nil
+			}
+		case "|":
+			if id, ok := v.X.(*sva.Ident); ok {
+				return n.pick(
+					id.Name+" contains at least one '1' bit",
+					id.Name+" is nonzero",
+				), nil
+			}
+		}
+	case *sva.Call:
+		if len(v.Args) == 1 {
+			if id, ok := v.Args[0].(*sva.Ident); ok {
+				switch v.Name {
+				case "$onehot":
+					return "exactly one bit of " + id.Name + " is set", nil
+				case "$onehot0":
+					return "at most one bit of " + id.Name + " is set", nil
+				}
+			}
+		}
+	case *sva.Binary:
+		id, ok := v.X.(*sva.Ident)
+		if !ok {
+			break
+		}
+		if num, isNum := v.Y.(*sva.Num); isNum {
+			nv := strconv.FormatUint(num.Value, 10)
+			switch v.Op {
+			case "==", "===":
+				return n.pick(id.Name+" equals "+nv, id.Name+" is equal to "+nv), nil
+			case "!=", "!==":
+				return n.pick(id.Name+" is not equal to "+nv, id.Name+" differs from "+nv), nil
+			case "<":
+				return id.Name + " is less than " + nv, nil
+			case "<=":
+				return n.pick(id.Name+" is at most "+nv, id.Name+" is less than or equal to "+nv), nil
+			case ">":
+				return id.Name + " is greater than " + nv, nil
+			case ">=":
+				return id.Name + " is at least " + nv, nil
+			}
+		}
+		if id2, isID := v.Y.(*sva.Ident); isID {
+			switch v.Op {
+			case "==", "===":
+				return n.pick(id.Name+" equals "+id2.Name, id.Name+" matches "+id2.Name), nil
+			case "!=", "!==":
+				return n.pick(id.Name+" is not equal to "+id2.Name, id.Name+" differs from "+id2.Name), nil
+			case "<":
+				return id.Name + " is less than " + id2.Name, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("nl: no rendering for %s", e.String())
+}

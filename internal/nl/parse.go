@@ -1,0 +1,439 @@
+package nl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fveval/internal/ltl"
+	"fveval/internal/sva"
+)
+
+// ParseDescription reconstructs the property described by a
+// naturalized assertion description. It understands exactly the phrase
+// grammar the Naturalizer emits — this is the critic's inverse model.
+func ParseDescription(desc string) (sva.Property, error) {
+	s := strings.TrimSpace(desc)
+	s = strings.TrimSuffix(s, ".")
+	// Commas only punctuate clause boundaries in the generated
+	// grammar; they carry no grouping information.
+	s = strings.ReplaceAll(s, ",", " ")
+	words := strings.Fields(s)
+	p := &nlParser{words: words}
+	prop, err := p.sentence()
+	if err != nil {
+		return nil, err
+	}
+	if p.i != len(p.words) {
+		return nil, fmt.Errorf("nl: trailing words %q", strings.Join(p.words[p.i:], " "))
+	}
+	return prop, nil
+}
+
+// Critic re-parses a description and checks it reproduces the source
+// assertion's temporal logic, mirroring the paper's LLM-as-critic
+// step. It returns nil when the description is faithful.
+func Critic(desc string, ref *sva.Assertion) error {
+	got, err := ParseDescription(desc)
+	if err != nil {
+		return fmt.Errorf("nl: critic cannot parse description: %w", err)
+	}
+	want, err := ltl.LowerProperty(ref.Body)
+	if err != nil {
+		return fmt.Errorf("nl: critic cannot lower reference: %w", err)
+	}
+	gotF, err := ltl.LowerProperty(got)
+	if err != nil {
+		return fmt.Errorf("nl: critic cannot lower description: %w", err)
+	}
+	if gotF.String() != want.String() {
+		return fmt.Errorf("nl: description means %s but reference is %s", gotF, want)
+	}
+	return nil
+}
+
+type nlParser struct {
+	words []string
+	i     int
+}
+
+func (p *nlParser) peek() string {
+	if p.i < len(p.words) {
+		return p.words[p.i]
+	}
+	return ""
+}
+
+func (p *nlParser) accept(ws ...string) bool {
+	if p.i+len(ws) > len(p.words) {
+		return false
+	}
+	for k, w := range ws {
+		if !strings.EqualFold(p.words[p.i+k], w) {
+			return false
+		}
+	}
+	p.i += len(ws)
+	return true
+}
+
+func (p *nlParser) sentence() (sva.Property, error) {
+	switch {
+	case p.accept("if") || p.accept("when") || p.accept("whenever"):
+		// "whenever COND, the assertion is satisfied" is the plain
+		// form; "if COND, then ..." is the implication.
+		ante, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept("the", "assertion", "is", "satisfied") {
+			return &sva.PropSeq{S: &sva.SeqExpr{E: ante}}, nil
+		}
+		if !p.accept("then") {
+			return nil, fmt.Errorf("nl: expected 'then' near %q", p.peek())
+		}
+		delayLo, delayHi, eventually, err := p.delay()
+		if err != nil {
+			return nil, err
+		}
+		cons, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		p.acceptMust()
+		var consProp sva.Property = &sva.PropSeq{S: &sva.SeqExpr{E: cons}}
+		if eventually {
+			return &sva.PropImpl{S: &sva.SeqExpr{E: ante}, Overlap: true,
+				P: &sva.PropEventually{P: consProp, Strong: true}}, nil
+		}
+		if delayLo > 0 || delayHi > 0 {
+			return &sva.PropImpl{S: &sva.SeqExpr{E: ante}, Overlap: true,
+				P: &sva.PropSeq{S: &sva.SeqDelay{
+					D: sva.Delay{Lo: delayLo, Hi: delayHi},
+					R: &sva.SeqExpr{E: cons},
+				}}}, nil
+		}
+		return &sva.PropImpl{S: &sva.SeqExpr{E: ante}, Overlap: true, P: consProp}, nil
+	case p.accept("the", "assertion", "is", "satisfied", "when"):
+		c, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.PropSeq{S: &sva.SeqExpr{E: c}}, nil
+	case p.accept("at", "every", "clock", "cycle"):
+		c, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.PropSeq{S: &sva.SeqExpr{E: c}}, nil
+	default:
+		c, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.PropSeq{S: &sva.SeqExpr{E: c}}, nil
+	}
+}
+
+func (p *nlParser) acceptMust() {
+	if p.accept("must", "hold") {
+		return
+	}
+	if p.accept("must", "be", "satisfied") {
+		return
+	}
+	if p.accept("must", "be", "true") {
+		return
+	}
+}
+
+// delay parses a delay phrase, returning (lo, hi, eventually).
+func (p *nlParser) delay() (int, int, bool, error) {
+	switch {
+	case p.accept("on", "the", "next", "clock", "cycle"):
+		return 1, 1, false, nil
+	case p.accept("one", "clock", "cycle", "later"):
+		return 1, 1, false, nil
+	case p.accept("in", "the", "same", "cycle"):
+		return 0, 0, false, nil
+	case p.accept("eventually"):
+		return 0, 0, true, nil
+	case p.accept("at", "some", "point", "in", "the", "future"):
+		return 0, 0, true, nil
+	case p.accept("within"):
+		lo, err := p.number()
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if !p.accept("to") {
+			return 0, 0, false, fmt.Errorf("nl: expected 'to' in delay range")
+		}
+		hi, err := p.number()
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if !p.accept("clock", "cycles") && !p.accept("cycles") {
+			return 0, 0, false, fmt.Errorf("nl: expected 'clock cycles'")
+		}
+		return lo, hi, false, nil
+	case p.accept("after"):
+		n, err := p.number()
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if !p.accept("clock", "cycles") && !p.accept("clock", "cycle") {
+			return 0, 0, false, fmt.Errorf("nl: expected 'clock cycles'")
+		}
+		return n, n, false, nil
+	}
+	// "N clock cycles later, "
+	if n, ok := p.tryNumber(); ok {
+		if p.accept("clock", "cycles", "later") || p.accept("clock", "cycle", "later") {
+			return n, n, false, nil
+		}
+		return 0, 0, false, fmt.Errorf("nl: malformed delay after number %d", n)
+	}
+	return 0, 0, false, nil // no delay phrase: same-cycle
+}
+
+func (p *nlParser) number() (int, error) {
+	if n, ok := p.tryNumber(); ok {
+		return n, nil
+	}
+	return 0, fmt.Errorf("nl: expected a number, found %q", p.peek())
+}
+
+func (p *nlParser) tryNumber() (int, bool) {
+	w := strings.TrimRight(p.peek(), ",")
+	if n, err := strconv.Atoi(w); err == nil {
+		p.i++
+		return n, true
+	}
+	switch strings.ToLower(w) {
+	case "one":
+		p.i++
+		return 1, true
+	case "two":
+		p.i++
+		return 2, true
+	case "three":
+		p.i++
+		return 3, true
+	case "four":
+		p.i++
+		return 4, true
+	case "five":
+		p.i++
+		return 5, true
+	}
+	return 0, false
+}
+
+// cond parses a boolean condition with both/either grouping markers.
+// Bare connectives associate left.
+func (p *nlParser) cond() (sva.Expr, error) {
+	left, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("and"):
+			right, err := p.operand()
+			if err != nil {
+				return nil, err
+			}
+			left = &sva.Binary{Op: "&&", X: left, Y: right}
+		case p.accept("or"):
+			right, err := p.operand()
+			if err != nil {
+				return nil, err
+			}
+			left = &sva.Binary{Op: "||", X: left, Y: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *nlParser) operand() (sva.Expr, error) {
+	switch {
+	case p.accept("both"):
+		x, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept("and") {
+			return nil, fmt.Errorf("nl: expected 'and' after 'both ...'")
+		}
+		y, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.Binary{Op: "&&", X: x, Y: y}, nil
+	case p.accept("either"):
+		x, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept("or") {
+			return nil, fmt.Errorf("nl: expected 'or' after 'either ...'")
+		}
+		y, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.Binary{Op: "||", X: x, Y: y}, nil
+	case p.accept("it", "is", "not", "the", "case", "that"):
+		x, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.Unary{Op: "!", X: x}, nil
+	}
+	return p.atom()
+}
+
+// atom parses a leaf phrase.
+func (p *nlParser) atom() (sva.Expr, error) {
+	// non-signal-leading patterns first
+	switch {
+	case p.accept("all", "bits", "of"):
+		sig, err := p.signal()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept("are", "1") {
+			return nil, fmt.Errorf("nl: expected 'are 1'")
+		}
+		return &sva.Unary{Op: "&", X: sig}, nil
+	case p.accept("every", "bit", "of"):
+		sig, err := p.signal()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept("is", "set") {
+			return nil, fmt.Errorf("nl: expected 'is set'")
+		}
+		return &sva.Unary{Op: "&", X: sig}, nil
+	case p.accept("exactly", "one", "bit", "of"):
+		sig, err := p.signal()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept("is", "set") {
+			return nil, fmt.Errorf("nl: expected 'is set'")
+		}
+		return &sva.Call{Name: "$onehot", Args: []sva.Expr{sig}}, nil
+	case p.accept("at", "most", "one", "bit", "of"):
+		sig, err := p.signal()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept("is", "set") {
+			return nil, fmt.Errorf("nl: expected 'is set'")
+		}
+		return &sva.Call{Name: "$onehot0", Args: []sva.Expr{sig}}, nil
+	}
+	sig, err := p.signal()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept("is", "high"), p.accept("is", "true"), p.accept("is", "asserted"):
+		return sig, nil
+	case p.accept("is", "low"), p.accept("is", "false"), p.accept("is", "deasserted"):
+		return &sva.Unary{Op: "!", X: sig}, nil
+	case p.accept("has", "an", "odd", "number", "of", "bits", "set", "to", "'1'"),
+		p.accept("has", "odd", "parity"):
+		return &sva.Unary{Op: "^", X: sig}, nil
+	case p.accept("contains", "at", "least", "one", "'1'", "bit"), p.accept("is", "nonzero"):
+		return &sva.Unary{Op: "|", X: sig}, nil
+	case p.accept("equals"), p.accept("is", "equal", "to"), p.accept("matches"):
+		rhs, err := p.rhs()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.Binary{Op: "==", X: sig, Y: rhs}, nil
+	case p.accept("is", "not", "equal", "to"), p.accept("differs", "from"):
+		rhs, err := p.rhs()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.Binary{Op: "!=", X: sig, Y: rhs}, nil
+	case p.accept("is", "less", "than", "or", "equal", "to"), p.accept("is", "at", "most"):
+		rhs, err := p.rhs()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.Binary{Op: "<=", X: sig, Y: rhs}, nil
+	case p.accept("is", "less", "than"):
+		rhs, err := p.rhs()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.Binary{Op: "<", X: sig, Y: rhs}, nil
+	case p.accept("is", "greater", "than"):
+		rhs, err := p.rhs()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.Binary{Op: ">", X: sig, Y: rhs}, nil
+	case p.accept("is", "at", "least"):
+		rhs, err := p.rhs()
+		if err != nil {
+			return nil, err
+		}
+		return &sva.Binary{Op: ">=", X: sig, Y: rhs}, nil
+	}
+	// Bare signal ("sig_F must hold", "... and sig_J"): treated as
+	// asserted-high when followed by a clause boundary.
+	switch p.peek() {
+	case "", "must", "and", "or", "then":
+		return sig, nil
+	}
+	return nil, fmt.Errorf("nl: cannot parse phrase near %q", strings.Join(p.words[p.i:min(p.i+4, len(p.words))], " "))
+}
+
+func (p *nlParser) rhs() (sva.Expr, error) {
+	w := strings.TrimRight(p.peek(), ",")
+	if v, err := strconv.ParseUint(w, 10, 64); err == nil {
+		p.i++
+		return &sva.Num{Text: strconv.FormatUint(v, 10), Value: v}, nil
+	}
+	return p.signal()
+}
+
+func (p *nlParser) signal() (sva.Expr, error) {
+	w := strings.TrimRight(p.peek(), ",")
+	if w == "" || !isSignalWord(w) {
+		return nil, fmt.Errorf("nl: expected a signal name, found %q", p.peek())
+	}
+	p.i++
+	return &sva.Ident{Name: w}, nil
+}
+
+func isSignalWord(w string) bool {
+	if len(w) == 0 {
+		return false
+	}
+	c := w[0]
+	if !(c == '_' || (c >= 'a' && c <= 'z')) {
+		return false
+	}
+	// reject grammar words
+	switch w {
+	case "and", "or", "both", "either", "is", "the", "it", "not", "then",
+		"must", "hold", "to", "all", "every", "exactly", "at", "most",
+		"least", "when", "if", "whenever", "on", "within", "after":
+		return false
+	}
+	return strings.Contains(w, "_") || strings.HasPrefix(w, "sig")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

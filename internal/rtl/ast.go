@@ -1,0 +1,144 @@
+// Package rtl parses and elaborates the synthesizable SystemVerilog
+// subset used by the FVEval benchmark: the synthetic pipeline and FSM
+// designs from the Design2SVA generator, the expert-written formal
+// testbenches of NL2SVA-Human, and testbench snippets produced by
+// models. Elaboration flattens parameters, generate loops, and module
+// instances into a word-level transition system (package mc consumes
+// it for proving).
+package rtl
+
+import (
+	"fveval/internal/sva"
+)
+
+// File is a parsed source file.
+type File struct {
+	Modules []*Module
+}
+
+// Module finds a module by name.
+func (f *File) Module(name string) *Module {
+	for _, m := range f.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Module is a parsed module declaration.
+type Module struct {
+	Name   string
+	Ports  []string
+	Params []Param
+	Items  []Item
+}
+
+// Param is a parameter or localparam declaration.
+type Param struct {
+	Name    string
+	Default sva.Expr
+	IsLocal bool
+}
+
+// Item is a module-level item.
+type Item interface{ itemNode() }
+
+// Range is a vector range [Hi:Lo].
+type Range struct {
+	Hi, Lo sva.Expr
+}
+
+// Decl declares a signal. Kind is input/output/inout/wire/reg/logic/
+// genvar/integer. Packed ranges precede the name; Unpacked follow it.
+type Decl struct {
+	Kind     string
+	Kind2    string // e.g. "output reg": second storage keyword
+	Packed   []Range
+	Name     string
+	Unpacked []Range
+}
+
+// Assign is a continuous assignment.
+type Assign struct {
+	LHS sva.Expr // Ident, Index, or Select
+	RHS sva.Expr
+}
+
+// Always is a procedural block. Kind is "ff", "comb", or "plain"
+// (always @(...)). Edges lists the sensitivity events for ff/plain.
+type Always struct {
+	Kind  string
+	Edges []Edge
+	Body  []Stmt
+}
+
+// Edge is a sensitivity-list event.
+type Edge struct {
+	Kind   string // posedge / negedge
+	Signal string
+}
+
+// GenFor is a generate-for loop (with or without the generate keyword).
+type GenFor struct {
+	Var   string
+	Init  sva.Expr
+	Cond  sva.Expr
+	Step  sva.Expr // expression for the next value of Var
+	Label string
+	Body  []Item
+}
+
+// Instance is a module instantiation.
+type Instance struct {
+	ModName string
+	Name    string
+	Params  map[string]sva.Expr
+	Conns   map[string]sva.Expr
+}
+
+// AssertItem is a concurrent assertion at module level.
+type AssertItem struct {
+	A *sva.Assertion
+}
+
+func (*Decl) itemNode()       {}
+func (*Assign) itemNode()     {}
+func (*Always) itemNode()     {}
+func (*GenFor) itemNode()     {}
+func (*Instance) itemNode()   {}
+func (*AssertItem) itemNode() {}
+
+// Stmt is a procedural statement.
+type Stmt interface{ stmtNode() }
+
+// If is a procedural if/else.
+type If struct {
+	Cond sva.Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Case is a case statement; a CaseItem with nil Labels is the default.
+type Case struct {
+	Subject sva.Expr
+	Items   []CaseItem
+}
+
+// CaseItem is one arm of a case statement.
+type CaseItem struct {
+	Labels []sva.Expr
+	Body   []Stmt
+}
+
+// ProcAssign is a procedural assignment; NonBlocking distinguishes <=
+// from =.
+type ProcAssign struct {
+	LHS         sva.Expr
+	RHS         sva.Expr
+	NonBlocking bool
+}
+
+func (*If) stmtNode()         {}
+func (*Case) stmtNode()       {}
+func (*ProcAssign) stmtNode() {}

@@ -1,0 +1,436 @@
+// Package sva defines the abstract syntax tree for SystemVerilog
+// Assertions, a recursive-descent parser, a canonical printer, and a
+// semantic validator. The validator plays the role of the commercial
+// tool's compile step in the paper's evaluation flow: an assertion
+// passes the Syntax metric iff it parses and validates here.
+package sva
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a boolean/bit-vector expression (the boolean layer of SVA).
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Ident is a signal, parameter, or constant reference.
+type Ident struct{ Name string }
+
+// Num is a numeric literal; Text preserves the source spelling.
+type Num struct {
+	Text  string
+	Value uint64
+	Width int  // 0 = unsized
+	Fill  bool // '0 / '1
+}
+
+// Unary is a prefix operator application: ! ~ & | ^ ~& ~| ~^ ^~ - +.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is an infix operator application.
+type Binary struct {
+	Op   string
+	X, Y Expr
+}
+
+// Cond is the ternary conditional c ? t : e.
+type Cond struct {
+	C, T, E Expr
+}
+
+// Call is a system function application ($countones(x), $past(x, 2)).
+// Non-system names parse but fail validation — this is how hallucinated
+// operators like eventually(x) are caught, mirroring the paper.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// Concat is {a, b, c}.
+type Concat struct{ Parts []Expr }
+
+// Repl is a replication {n{v}}.
+type Repl struct {
+	Count Expr
+	Value Expr
+}
+
+// Index is a bit select x[i].
+type Index struct {
+	X   Expr
+	Idx Expr
+}
+
+// Select is a part select x[hi:lo].
+type Select struct {
+	X      Expr
+	Hi, Lo Expr
+}
+
+// WidthCast forces an expression to a fixed self-determined width
+// (truncating or zero-extending). It has no surface syntax — the RTL
+// elaborator inserts it to pin port/assignment widths — and prints as
+// a $fvw(w, x) pseudo-call for debugging.
+type WidthCast struct {
+	X Expr
+	W int
+}
+
+func (*Ident) exprNode()     {}
+func (*Num) exprNode()       {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Cond) exprNode()      {}
+func (*Call) exprNode()      {}
+func (*Concat) exprNode()    {}
+func (*Repl) exprNode()      {}
+func (*Index) exprNode()     {}
+func (*Select) exprNode()    {}
+func (*WidthCast) exprNode() {}
+
+func (e *WidthCast) String() string {
+	return fmt.Sprintf("$fvw(%d, %s)", e.W, e.X.String())
+}
+
+func (e *Ident) String() string { return e.Name }
+func (e *Num) String() string   { return e.Text }
+func (e *Unary) String() string { return e.Op + parenExpr(e.X) }
+func (e *Binary) String() string {
+	return parenExpr(e.X) + " " + e.Op + " " + parenExpr(e.Y)
+}
+func (e *Cond) String() string {
+	return parenExpr(e.C) + " ? " + parenExpr(e.T) + " : " + parenExpr(e.E)
+}
+func (e *Call) String() string {
+	var args []string
+	for _, a := range e.Args {
+		args = append(args, a.String())
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+func (e *Concat) String() string {
+	var parts []string
+	for _, p := range e.Parts {
+		parts = append(parts, p.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+func (e *Repl) String() string {
+	return "{" + e.Count.String() + "{" + e.Value.String() + "}}"
+}
+func (e *Index) String() string {
+	return parenExpr(e.X) + "[" + e.Idx.String() + "]"
+}
+func (e *Select) String() string {
+	return parenExpr(e.X) + "[" + e.Hi.String() + ":" + e.Lo.String() + "]"
+}
+
+func parenExpr(e Expr) string {
+	switch e.(type) {
+	case *Ident, *Num, *Call, *Concat, *Repl, *Index, *Select:
+		return e.String()
+	case *Unary:
+		return e.String()
+	}
+	return "(" + e.String() + ")"
+}
+
+// Delay is a cycle-delay range ##[Lo:Hi]; Inf means Hi is $.
+type Delay struct {
+	Lo, Hi int
+	Inf    bool
+}
+
+func (d Delay) String() string {
+	if d.Inf {
+		if d.Lo == 0 {
+			return "##[0:$]"
+		}
+		return fmt.Sprintf("##[%d:$]", d.Lo)
+	}
+	if d.Lo == d.Hi {
+		return fmt.Sprintf("##%d", d.Lo)
+	}
+	return fmt.Sprintf("##[%d:%d]", d.Lo, d.Hi)
+}
+
+// Sequence is an SVA sequence expression.
+type Sequence interface {
+	seqNode()
+	String() string
+}
+
+// SeqExpr is a boolean expression as a length-1 sequence.
+type SeqExpr struct{ E Expr }
+
+// SeqDelay is L ##[lo:hi] R. L may be nil for a leading delay.
+type SeqDelay struct {
+	L Sequence // may be nil
+	D Delay
+	R Sequence
+}
+
+// SeqRepeat is S[*lo:hi] consecutive repetition; Inf means hi is $.
+type SeqRepeat struct {
+	S      Sequence
+	Lo, Hi int
+	Inf    bool
+}
+
+// SeqBinary is a sequence combination: "and", "or", "intersect",
+// "within".
+type SeqBinary struct {
+	Op   string
+	L, R Sequence
+}
+
+// SeqThroughout is E throughout S.
+type SeqThroughout struct {
+	E Expr
+	S Sequence
+}
+
+// SeqFirstMatch is first_match(S).
+type SeqFirstMatch struct{ S Sequence }
+
+func (*SeqExpr) seqNode()       {}
+func (*SeqDelay) seqNode()      {}
+func (*SeqRepeat) seqNode()     {}
+func (*SeqBinary) seqNode()     {}
+func (*SeqThroughout) seqNode() {}
+func (*SeqFirstMatch) seqNode() {}
+
+func (s *SeqExpr) String() string { return s.E.String() }
+func (s *SeqDelay) String() string {
+	if s.L == nil {
+		return s.D.String() + " " + parenSeq(s.R)
+	}
+	// Delay concatenation chains print flat: a ##1 b ##2 c.
+	left := parenSeq(s.L)
+	if _, ok := s.L.(*SeqDelay); ok {
+		left = s.L.String()
+	}
+	return left + " " + s.D.String() + " " + parenSeq(s.R)
+}
+func (s *SeqRepeat) String() string {
+	var rep string
+	switch {
+	case s.Inf:
+		rep = fmt.Sprintf("[*%d:$]", s.Lo)
+	case s.Lo == s.Hi:
+		rep = fmt.Sprintf("[*%d]", s.Lo)
+	default:
+		rep = fmt.Sprintf("[*%d:%d]", s.Lo, s.Hi)
+	}
+	return parenSeq(s.S) + rep
+}
+func (s *SeqBinary) String() string {
+	return parenSeq(s.L) + " " + s.Op + " " + parenSeq(s.R)
+}
+func (s *SeqThroughout) String() string {
+	return parenExpr(s.E) + " throughout " + parenSeq(s.S)
+}
+func (s *SeqFirstMatch) String() string {
+	return "first_match(" + s.S.String() + ")"
+}
+
+func parenSeq(s Sequence) string {
+	switch s.(type) {
+	case *SeqExpr, *SeqFirstMatch, *SeqRepeat:
+		return s.String()
+	}
+	return "(" + s.String() + ")"
+}
+
+// Property is an SVA property expression.
+type Property interface {
+	propNode()
+	String() string
+}
+
+// PropSeq is a sequence used as a property. Strength records an
+// explicit strong(...)/weak(...) wrapper; unset means the default weak
+// interpretation of a sequence property.
+type PropSeq struct {
+	S        Sequence
+	Strong   bool
+	Explicit bool // wrapped in strong()/weak()
+}
+
+// PropNot is "not P".
+type PropNot struct{ P Property }
+
+// PropBinary is "P and Q", "P or Q", "P implies Q", or "P iff Q".
+type PropBinary struct {
+	Op   string
+	L, R Property
+}
+
+// PropImpl is S |-> P (Overlap) or S |=> P.
+type PropImpl struct {
+	S       Sequence
+	Overlap bool
+	P       Property
+}
+
+// PropIfElse is "if (C) P else Q"; Else may be nil.
+type PropIfElse struct {
+	C    Expr
+	Then Property
+	Else Property // may be nil
+}
+
+// PropAlways is always P (weak) or s_always P.
+type PropAlways struct {
+	P      Property
+	Strong bool
+}
+
+// PropEventually is s_eventually P (Strong) — the weak bounded form is
+// not used by the benchmark and rejected by the validator if unbounded.
+type PropEventually struct {
+	P      Property
+	Strong bool
+}
+
+// PropNexttime is nexttime P / s_nexttime P.
+type PropNexttime struct {
+	P      Property
+	Strong bool
+}
+
+// PropUntil is "L until R" and variants (s_until, until_with,
+// s_until_with).
+type PropUntil struct {
+	L, R   Property
+	Strong bool
+	With   bool
+}
+
+func (*PropSeq) propNode()        {}
+func (*PropNot) propNode()        {}
+func (*PropBinary) propNode()     {}
+func (*PropImpl) propNode()       {}
+func (*PropIfElse) propNode()     {}
+func (*PropAlways) propNode()     {}
+func (*PropEventually) propNode() {}
+func (*PropNexttime) propNode()   {}
+func (*PropUntil) propNode()      {}
+
+func (p *PropSeq) String() string {
+	if p.Explicit {
+		if p.Strong {
+			return "strong(" + p.S.String() + ")"
+		}
+		return "weak(" + p.S.String() + ")"
+	}
+	return p.S.String()
+}
+func (p *PropNot) String() string { return "not " + parenProp(p.P) }
+func (p *PropBinary) String() string {
+	return parenProp(p.L) + " " + p.Op + " " + parenProp(p.R)
+}
+func (p *PropImpl) String() string {
+	op := "|=>"
+	if p.Overlap {
+		op = "|->"
+	}
+	return parenSeq(p.S) + " " + op + " " + parenProp(p.P)
+}
+func (p *PropIfElse) String() string {
+	s := "if (" + p.C.String() + ") " + parenProp(p.Then)
+	if p.Else != nil {
+		s += " else " + parenProp(p.Else)
+	}
+	return s
+}
+func (p *PropAlways) String() string {
+	if p.Strong {
+		return "s_always " + parenProp(p.P)
+	}
+	return "always " + parenProp(p.P)
+}
+func (p *PropEventually) String() string {
+	if p.Strong {
+		return "s_eventually " + parenProp(p.P)
+	}
+	return "eventually " + parenProp(p.P)
+}
+func (p *PropNexttime) String() string {
+	if p.Strong {
+		return "s_nexttime " + parenProp(p.P)
+	}
+	return "nexttime " + parenProp(p.P)
+}
+func (p *PropUntil) String() string {
+	op := "until"
+	if p.Strong {
+		op = "s_until"
+	}
+	if p.With {
+		op += "_with"
+	}
+	return parenProp(p.L) + " " + op + " " + parenProp(p.R)
+}
+
+func parenProp(p Property) string {
+	switch v := p.(type) {
+	case *PropSeq:
+		if v.Explicit {
+			return p.String()
+		}
+		if _, ok := v.S.(*SeqExpr); ok {
+			return p.String()
+		}
+	}
+	return "(" + p.String() + ")"
+}
+
+// Assertion is a complete concurrent assertion statement. Kind is
+// "assert" (default), "assume" (input constraint), or "cover".
+type Assertion struct {
+	Label      string // optional
+	Kind       string // "" is treated as "assert"
+	ClockEdge  string // "posedge" or "negedge"
+	ClockName  string // clock signal name
+	DisableIff Expr   // may be nil
+	Body       Property
+}
+
+// KindOrAssert returns the statement kind, defaulting to "assert".
+func (a *Assertion) KindOrAssert() string {
+	if a.Kind == "" {
+		return "assert"
+	}
+	return a.Kind
+}
+
+// String renders the assertion in canonical SVA form.
+func (a *Assertion) String() string {
+	var b strings.Builder
+	if a.Label != "" {
+		b.WriteString(a.Label)
+		b.WriteString(": ")
+	}
+	b.WriteString(a.KindOrAssert())
+	b.WriteString(" property (@(")
+	b.WriteString(a.ClockEdge)
+	b.WriteString(" ")
+	b.WriteString(a.ClockName)
+	b.WriteString(")")
+	if a.DisableIff != nil {
+		b.WriteString(" disable iff (")
+		b.WriteString(a.DisableIff.String())
+		b.WriteString(")")
+	}
+	b.WriteString(" ")
+	b.WriteString(a.Body.String())
+	b.WriteString(");")
+	return b.String()
+}
