@@ -1,0 +1,22 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI stay identical.
+GO ?= go
+
+.PHONY: build test bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+ci: build lint test bench

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"fveval/internal/core"
+	"fveval/internal/engine"
 	"fveval/internal/equiv"
 	"fveval/internal/gen/rtlgen"
 	"fveval/internal/gen/svagen"
@@ -25,7 +26,7 @@ import (
 
 func BenchmarkTable1NL2SVAHuman(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reports, err := core.RunNL2SVAHuman(llm.Models(), core.Options{})
+		reports, err := engine.RunNL2SVAHuman(llm.Models(), engine.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func BenchmarkTable2HumanPassK(b *testing.B) {
 		llm.ModelByName("llama-3.1-70b"),
 	}
 	for i := 0; i < b.N; i++ {
-		reports, err := core.RunNL2SVAHumanPassK(models, []int{1, 3, 5}, core.Options{Samples: 5})
+		reports, err := engine.RunNL2SVAHumanPassK(models, []int{1, 3, 5}, engine.Config{Samples: 5, Workers: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,11 +55,11 @@ func BenchmarkTable2HumanPassK(b *testing.B) {
 
 func BenchmarkTable3NL2SVAMachine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		zero, err := core.RunNL2SVAMachine(llm.Models(), 0, 300, core.Options{})
+		zero, err := engine.RunNL2SVAMachine(llm.Models(), 0, 300, engine.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		three, err := core.RunNL2SVAMachine(llm.Models(), 3, 300, core.Options{})
+		three, err := engine.RunNL2SVAMachine(llm.Models(), 3, 300, engine.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func BenchmarkTable4MachinePassK(b *testing.B) {
 		llm.ModelByName("llama-3.1-70b"),
 	}
 	for i := 0; i < b.N; i++ {
-		reports, err := core.RunNL2SVAMachinePassK(models, []int{1, 3, 5}, 300, core.Options{Samples: 5})
+		reports, err := engine.RunNL2SVAMachinePassK(models, []int{1, 3, 5}, 300, engine.Config{Samples: 5, Workers: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,11 +88,11 @@ func BenchmarkTable4MachinePassK(b *testing.B) {
 
 func BenchmarkTable5Design2SVA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pipe, err := core.RunDesign2SVA(llm.DesignModels(), "pipeline", core.Options{Samples: 5})
+		pipe, err := engine.RunDesign2SVA(llm.DesignModels(), "pipeline", engine.Config{Samples: 5})
 		if err != nil {
 			b.Fatal(err)
 		}
-		fsm, err := core.RunDesign2SVA(llm.DesignModels(), "fsm", core.Options{Samples: 5})
+		fsm, err := engine.RunDesign2SVA(llm.DesignModels(), "fsm", engine.Config{Samples: 5})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +147,7 @@ func BenchmarkFigure6BLEUCorrelation(b *testing.B) {
 		llm.ModelByName("llama-3.1-70b"),
 	}
 	for i := 0; i < b.N; i++ {
-		out, err := core.Figure6(models, core.Options{})
+		out, err := engine.New(engine.Config{}).Figure6(models)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -254,7 +255,7 @@ func BenchmarkAblationFeedback(b *testing.B) {
 	}{{"base", base}, {"with-feedback", wrapped}} {
 		b.Run(cfg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reports, err := core.RunNL2SVAHuman([]llm.Model{cfg.model}, core.Options{})
+				reports, err := engine.RunNL2SVAHuman([]llm.Model{cfg.model}, engine.Config{})
 				if err != nil {
 					b.Fatal(err)
 				}

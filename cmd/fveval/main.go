@@ -1,5 +1,7 @@
 // Command fveval runs the FVEval benchmark end to end: every table and
-// figure of the paper regenerates from one invocation.
+// figure of the paper regenerates from one invocation. All runs share
+// one evaluation engine, so duplicate formal equivalence checks are
+// solved once per process.
 //
 // Usage:
 //
@@ -7,14 +9,19 @@
 //	fveval -table 3 -count 300
 //	fveval -figure 6
 //	fveval -all -limit 20    # everything, truncated for a quick look
+//	fveval -table 4 -workers 8 -shard 0/4   # first of four horizontal shards
+//	fveval -table 2 -cache=false            # disable the equivalence memo
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"fveval/internal/core"
+	"fveval/internal/engine"
 	"fveval/internal/llm"
 )
 
@@ -26,77 +33,114 @@ func main() {
 	count := flag.Int("count", 300, "NL2SVA-Machine dataset size")
 	samples := flag.Int("samples", 5, "samples per instance for pass@k runs")
 	workers := flag.Int("workers", 0, "evaluation parallelism (0 = GOMAXPROCS)")
+	shard := flag.String("shard", "", "evaluate one instance slice, as i/n (e.g. 0/4); combine n processes to cover a run")
+	cache := flag.Bool("cache", true, "memoize formal equivalence checks across the run")
 	flag.Parse()
 
-	opt := core.Options{Limit: *limit, Samples: *samples, Workers: *workers}
-	if err := run(*table, *figure, *all, *count, opt); err != nil {
+	shardSpec, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fveval:", err)
+		os.Exit(2)
+	}
+	eng := engine.New(engine.Config{
+		Limit:   *limit,
+		Samples: *samples,
+		Workers: *workers,
+		Shard:   shardSpec,
+		NoCache: !*cache,
+	})
+	if err := run(eng, *table, *figure, *all, *count); err != nil {
 		fmt.Fprintln(os.Stderr, "fveval:", err)
 		os.Exit(1)
 	}
+	if st := eng.CacheStats(); st.Hits+st.Misses > 0 {
+		fmt.Fprintln(os.Stderr, st)
+	}
 }
 
-func run(table, figure int, all bool, count int, opt core.Options) error {
+// parseShard reads an "i/n" spec; empty means no sharding.
+func parseShard(s string) (engine.Shard, error) {
+	if s == "" {
+		return engine.Shard{}, nil
+	}
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return engine.Shard{}, fmt.Errorf("shard %q: want i/n", s)
+	}
+	i, err1 := strconv.Atoi(idx)
+	n, err2 := strconv.Atoi(cnt)
+	if err1 != nil || err2 != nil {
+		return engine.Shard{}, fmt.Errorf("shard %q: want integer i/n", s)
+	}
+	sh := engine.Shard{Index: i, Count: n}
+	if err := sh.Validate(); err != nil {
+		return engine.Shard{}, err
+	}
+	return sh, nil
+}
+
+func run(eng *engine.Engine, table, figure int, all bool, count int) error {
 	if all {
 		for _, t := range []int{6, 1, 2, 3, 4, 5} {
-			if err := runTable(t, count, opt); err != nil {
+			if err := runTable(eng, t, count); err != nil {
 				return err
 			}
 		}
 		for _, f := range []int{2, 3, 4, 6} {
-			if err := runFigure(f, count, opt); err != nil {
+			if err := runFigure(eng, f, count); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	if table > 0 {
-		return runTable(table, count, opt)
+		return runTable(eng, table, count)
 	}
 	if figure > 0 {
-		return runFigure(figure, count, opt)
+		return runFigure(eng, figure, count)
 	}
 	flag.Usage()
 	return nil
 }
 
-func runTable(table, count int, opt core.Options) error {
+func runTable(eng *engine.Engine, table, count int) error {
 	switch table {
 	case 1:
-		reports, err := core.RunNL2SVAHuman(llm.Models(), opt)
+		reports, err := eng.NL2SVAHuman(llm.Models())
 		if err != nil {
 			return err
 		}
 		fmt.Println(core.FormatTable1(reports))
 	case 2:
 		models := pick("gpt-4o", "gemini-1.5-flash", "llama-3.1-70b")
-		reports, err := core.RunNL2SVAHumanPassK(models, []int{1, 3, 5}, opt)
+		reports, err := eng.NL2SVAHumanPassK(models, []int{1, 3, 5})
 		if err != nil {
 			return err
 		}
 		fmt.Println(core.FormatTable2(reports))
 	case 3:
-		zero, err := core.RunNL2SVAMachine(llm.Models(), 0, count, opt)
+		zero, err := eng.NL2SVAMachine(llm.Models(), 0, count)
 		if err != nil {
 			return err
 		}
-		three, err := core.RunNL2SVAMachine(llm.Models(), 3, count, opt)
+		three, err := eng.NL2SVAMachine(llm.Models(), 3, count)
 		if err != nil {
 			return err
 		}
 		fmt.Println(core.FormatTable3(zero, three))
 	case 4:
 		models := pick("gpt-4o", "gemini-1.5-flash", "llama-3.1-70b")
-		reports, err := core.RunNL2SVAMachinePassK(models, []int{1, 3, 5}, count, opt)
+		reports, err := eng.NL2SVAMachinePassK(models, []int{1, 3, 5}, count)
 		if err != nil {
 			return err
 		}
 		fmt.Println(core.FormatTable4(reports))
 	case 5:
-		pipe, err := core.RunDesign2SVA(llm.DesignModels(), "pipeline", opt)
+		pipe, err := eng.Design2SVA(llm.DesignModels(), "pipeline")
 		if err != nil {
 			return err
 		}
-		fsm, err := core.RunDesign2SVA(llm.DesignModels(), "fsm", opt)
+		fsm, err := eng.Design2SVA(llm.DesignModels(), "fsm")
 		if err != nil {
 			return err
 		}
@@ -109,7 +153,7 @@ func runTable(table, count int, opt core.Options) error {
 	return nil
 }
 
-func runFigure(figure, count int, opt core.Options) error {
+func runFigure(eng *engine.Engine, figure, count int) error {
 	switch figure {
 	case 2:
 		s, err := core.Figure2()
@@ -122,7 +166,7 @@ func runFigure(figure, count int, opt core.Options) error {
 	case 4:
 		fmt.Println(core.Figure4())
 	case 6:
-		s, err := core.Figure6(pick("gpt-4o", "llama-3.1-70b"), opt)
+		s, err := eng.Figure6(pick("gpt-4o", "llama-3.1-70b"))
 		if err != nil {
 			return err
 		}

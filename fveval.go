@@ -8,7 +8,9 @@
 // packages:
 //
 //   - the three sub-benchmarks and their runners (NL2SVA-Human,
-//     NL2SVA-Machine, Design2SVA),
+//     NL2SVA-Machine, Design2SVA), executed by the unified evaluation
+//     engine (flattened job queue, bounded worker pool, run-wide
+//     equivalence-check cache — see NewEngine for multi-run reuse),
 //   - the formal backend (SVA parsing/validation, assertion
 //     equivalence checking, RTL elaboration and model checking),
 //   - the model layer (prompt construction, proxy model fleet), and
@@ -22,14 +24,31 @@ package fveval
 
 import (
 	"fveval/internal/core"
+	"fveval/internal/engine"
 	"fveval/internal/equiv"
 	"fveval/internal/llm"
 	"fveval/internal/metrics"
 	"fveval/internal/sva"
 )
 
-// Options tunes a benchmark run. See core.Options.
-type Options = core.Options
+// Options tunes a benchmark run. See engine.Config.
+type Options = engine.Config
+
+// Engine executes benchmark runs over one flattened
+// (model, instance, sample) job queue with a bounded worker pool and a
+// run-wide equivalence-check cache. See engine.Engine.
+type Engine = engine.Engine
+
+// Shard restricts a process to one horizontal slice of the instance
+// axis for multi-process runs.
+type Shard = engine.Shard
+
+// CacheStats reports equivalence-cache hit/miss counters for a run.
+type CacheStats = equiv.CacheStats
+
+// NewEngine builds an evaluation engine; reuse one engine across runs
+// to share its equivalence cache.
+func NewEngine(opt Options) *Engine { return engine.New(opt) }
 
 // ModelReport aggregates one model's metrics on one task.
 type ModelReport = core.ModelReport
@@ -66,27 +85,27 @@ func ModelByName(name string) Model { return llm.ModelByName(name) }
 
 // RunNL2SVAHuman runs Table 1's evaluation.
 func RunNL2SVAHuman(models []Model, opt Options) ([]ModelReport, error) {
-	return core.RunNL2SVAHuman(models, opt)
+	return engine.RunNL2SVAHuman(models, opt)
 }
 
 // RunNL2SVAHumanPassK runs Table 2's evaluation.
 func RunNL2SVAHumanPassK(models []Model, ks []int, opt Options) ([]PassKReport, error) {
-	return core.RunNL2SVAHumanPassK(models, ks, opt)
+	return engine.RunNL2SVAHumanPassK(models, ks, opt)
 }
 
 // RunNL2SVAMachine runs one shot-setting of Table 3.
 func RunNL2SVAMachine(models []Model, shots, count int, opt Options) ([]ModelReport, error) {
-	return core.RunNL2SVAMachine(models, shots, count, opt)
+	return engine.RunNL2SVAMachine(models, shots, count, opt)
 }
 
 // RunNL2SVAMachinePassK runs Table 4's evaluation.
 func RunNL2SVAMachinePassK(models []Model, ks []int, count int, opt Options) ([]PassKReport, error) {
-	return core.RunNL2SVAMachinePassK(models, ks, count, opt)
+	return engine.RunNL2SVAMachinePassK(models, ks, count, opt)
 }
 
 // RunDesign2SVA runs one category half of Table 5.
 func RunDesign2SVA(models []Model, kind string, opt Options) ([]DesignReport, error) {
-	return core.RunDesign2SVA(models, kind, opt)
+	return engine.RunDesign2SVA(models, kind, opt)
 }
 
 // Table and figure renderers.

@@ -1,0 +1,3 @@
+module fveval
+
+go 1.24

@@ -1,15 +1,17 @@
-// Package core is the benchmark framework: it assembles the three
-// sub-benchmarks (NL2SVA-Human, NL2SVA-Machine, Design2SVA), runs
-// models through the full evaluation flow — prompt, response
-// extraction, syntax check, formal equivalence or proof — and
-// aggregates the paper's metrics into table and figure reports.
+// Package core holds the benchmark substance shared by every run: the
+// three sub-benchmark datasets (NL2SVA-Human, NL2SVA-Machine,
+// Design2SVA), the per-response judgment flow — response extraction,
+// syntax check, formal equivalence or proof — and the report types and
+// table/figure renderers for the paper's metrics.
+//
+// Execution (worker pools, job scheduling, sharding, memoized
+// equivalence checking) lives in internal/engine; core stays free of
+// run-loop concerns so judgments can be reused by any runner.
 package core
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"fveval/internal/dataset/human"
 	"fveval/internal/equiv"
@@ -21,32 +23,6 @@ import (
 	"fveval/internal/rtl"
 	"fveval/internal/sva"
 )
-
-// Options tunes a benchmark run.
-type Options struct {
-	// Limit truncates the instance list (0 = all); tests use small
-	// limits, benches run full size.
-	Limit int
-	// Samples per instance for pass@k runs.
-	Samples int
-	// Budget caps SAT conflicts per query (0 = default 200000).
-	Budget int64
-	// Workers sets evaluation parallelism (0 = GOMAXPROCS).
-	Workers int
-}
-
-func (o Options) withDefaults() Options {
-	if o.Budget == 0 {
-		o.Budget = 200000
-	}
-	if o.Workers == 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
-	if o.Samples == 0 {
-		o.Samples = 1
-	}
-	return o
-}
 
 // Outcome is the judged result of one response.
 type Outcome struct {
@@ -69,7 +45,10 @@ type ModelReport struct {
 	Outcomes []Outcome
 }
 
-func aggregate(model string, outs []Outcome) ModelReport {
+// Aggregate folds outcomes into one model's report. The fold visits
+// outcomes in slice order, so identical slices produce bit-identical
+// reports no matter how the outcomes were computed.
+func Aggregate(model string, outs []Outcome) ModelReport {
 	r := ModelReport{Model: model, Count: len(outs), Outcomes: outs}
 	if len(outs) == 0 {
 		return r
@@ -99,6 +78,65 @@ type PassKReport struct {
 	SyntaxK  map[int]float64
 	FuncK    map[int]float64
 	PartialK map[int]float64
+}
+
+// AggregatePassK computes unbiased pass@k per metric from a flattened
+// outcome grid laid out instance-major: outs[i*n+s] is instance i,
+// sample s.
+func AggregatePassK(model string, nInst, n int, ks []int, outs []Outcome) PassKReport {
+	rep := PassKReport{
+		Model: model, N: n,
+		SyntaxK:  map[int]float64{},
+		FuncK:    map[int]float64{},
+		PartialK: map[int]float64{},
+	}
+	for _, k := range ks {
+		var sSum, fSum, pSum float64
+		for i := 0; i < nInst; i++ {
+			var sC, fC, pC int
+			for s := 0; s < n; s++ {
+				o := outs[i*n+s]
+				if o.Syntax {
+					sC++
+				}
+				if o.Full {
+					fC++
+				}
+				if o.Partial {
+					pC++
+				}
+			}
+			sSum += metrics.PassAtK(n, sC, k)
+			fSum += metrics.PassAtK(n, fC, k)
+			pSum += metrics.PassAtK(n, pC, k)
+		}
+		rep.SyntaxK[k] = sSum / float64(nInst)
+		rep.FuncK[k] = fSum / float64(nInst)
+		rep.PartialK[k] = pSum / float64(nInst)
+	}
+	return rep
+}
+
+// DesignReport aggregates Design2SVA pass@k for one model and design
+// category.
+type DesignReport struct {
+	Model   string
+	Kind    string
+	N       int
+	SyntaxK map[int]float64
+	FuncK   map[int]float64
+}
+
+// AggregateDesign computes Design2SVA pass@k from a flattened outcome
+// grid (instance-major, like AggregatePassK); Full carries "proven".
+// Design2SVA has no partial-equivalence notion, so the fold is
+// AggregatePassK minus the Partial metric.
+func AggregateDesign(model, kind string, nInst, n int, ks []int, outs []Outcome) DesignReport {
+	pk := AggregatePassK(model, nInst, n, ks, outs)
+	return DesignReport{
+		Model: model, Kind: kind, N: n,
+		SyntaxK: pk.SyntaxK, FuncK: pk.FuncK,
+	}
 }
 
 // HumanInstance is one NL2SVA-Human test case with its environment.
@@ -159,8 +197,11 @@ func LoadMachine(count int) []*MachineInstance {
 	return out
 }
 
-// judgeTranslation runs the full evaluation flow on one response.
-func judgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs, budget int64) Outcome {
+// JudgeTranslation runs the full evaluation flow on one response:
+// extraction, BLEU, parse, validate, formal equivalence against the
+// reference. A non-nil cache memoizes the equivalence check; nil means
+// solve directly. Verdicts are identical either way.
+func JudgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs, budget int64, cache *equiv.Cache) Outcome {
 	code := llm.ExtractCode(response)
 	out := Outcome{InstanceID: id, Response: code}
 	out.BLEU = metrics.BLEU(code, ref.String())
@@ -171,7 +212,7 @@ func judgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs,
 	if err := sva.Validate(cand); err != nil {
 		return out
 	}
-	res, err := equiv.Check(cand, ref, sigs, equiv.Options{Budget: budget})
+	res, err := cache.Check(cand, ref, sigs, equiv.Options{Budget: budget})
 	if err != nil {
 		// elaboration failure (undeclared signals etc.) counts against
 		// the syntax metric, mirroring the tool compile step
@@ -185,249 +226,6 @@ func judgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs,
 		out.Partial = true
 	}
 	return out
-}
-
-// parallelMap runs f over n indices with bounded workers.
-func parallelMap(n, workers int, f func(i int)) {
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			f(i)
-		}(i)
-	}
-	wg.Wait()
-}
-
-// RunNL2SVAHuman evaluates models on NL2SVA-Human with greedy decoding
-// (Table 1).
-func RunNL2SVAHuman(models []llm.Model, opt Options) ([]ModelReport, error) {
-	opt = opt.withDefaults()
-	insts, err := LoadHuman()
-	if err != nil {
-		return nil, err
-	}
-	if opt.Limit > 0 && opt.Limit < len(insts) {
-		insts = insts[:opt.Limit]
-	}
-	var reports []ModelReport
-	for _, m := range models {
-		outs := make([]Outcome, len(insts))
-		parallelMap(len(insts), opt.Workers, func(i int) {
-			in := insts[i]
-			p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
-			resp := m.Generate(p, 0)
-			outs[i] = judgeTranslation(in.ID, resp, in.Reference, in.Sigs, opt.Budget)
-		})
-		reports = append(reports, aggregate(m.Name(), outs))
-	}
-	return reports, nil
-}
-
-// RunNL2SVAHumanPassK evaluates pass@k with multiple samples
-// (Table 2).
-func RunNL2SVAHumanPassK(models []llm.Model, ks []int, opt Options) ([]PassKReport, error) {
-	opt = opt.withDefaults()
-	if opt.Samples < 2 {
-		opt.Samples = 5
-	}
-	insts, err := LoadHuman()
-	if err != nil {
-		return nil, err
-	}
-	if opt.Limit > 0 && opt.Limit < len(insts) {
-		insts = insts[:opt.Limit]
-	}
-	var reports []PassKReport
-	for _, m := range models {
-		rep := passKRun(m, len(insts), opt, ks, func(i, s int) Outcome {
-			in := insts[i]
-			p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
-			resp := m.Generate(p, s)
-			return judgeTranslation(in.ID, resp, in.Reference, in.Sigs, opt.Budget)
-		})
-		reports = append(reports, rep)
-	}
-	return reports, nil
-}
-
-// RunNL2SVAMachine evaluates the machine benchmark at a shot count
-// (Table 3 columns).
-func RunNL2SVAMachine(models []llm.Model, shots, count int, opt Options) ([]ModelReport, error) {
-	opt = opt.withDefaults()
-	insts := LoadMachine(count)
-	if opt.Limit > 0 && opt.Limit < len(insts) {
-		insts = insts[:opt.Limit]
-	}
-	var reports []ModelReport
-	for _, m := range models {
-		outs := make([]Outcome, len(insts))
-		parallelMap(len(insts), opt.Workers, func(i int) {
-			in := insts[i]
-			p := llm.BuildMachinePrompt(in.ID, in.NL, shots, in.Reference)
-			resp := m.Generate(p, 0)
-			outs[i] = judgeTranslation(in.ID, resp, in.Reference, in.Sigs, opt.Budget)
-		})
-		reports = append(reports, aggregate(m.Name(), outs))
-	}
-	return reports, nil
-}
-
-// RunNL2SVAMachinePassK evaluates machine pass@k at 3-shot (Table 4).
-func RunNL2SVAMachinePassK(models []llm.Model, ks []int, count int, opt Options) ([]PassKReport, error) {
-	opt = opt.withDefaults()
-	if opt.Samples < 2 {
-		opt.Samples = 5
-	}
-	insts := LoadMachine(count)
-	if opt.Limit > 0 && opt.Limit < len(insts) {
-		insts = insts[:opt.Limit]
-	}
-	var reports []PassKReport
-	for _, m := range models {
-		rep := passKRun(m, len(insts), opt, ks, func(i, s int) Outcome {
-			in := insts[i]
-			p := llm.BuildMachinePrompt(in.ID, in.NL, 3, in.Reference)
-			resp := m.Generate(p, s)
-			return judgeTranslation(in.ID, resp, in.Reference, in.Sigs, opt.Budget)
-		})
-		reports = append(reports, rep)
-	}
-	return reports, nil
-}
-
-// passKRun samples n responses per instance and computes unbiased
-// pass@k per metric.
-func passKRun(m llm.Model, nInst int, opt Options, ks []int, eval func(i, s int) Outcome) PassKReport {
-	n := opt.Samples
-	outcomes := make([]Outcome, nInst*n)
-	parallelMap(len(outcomes), opt.Workers, func(idx int) {
-		outcomes[idx] = eval(idx/n, idx%n)
-	})
-	rep := PassKReport{
-		Model: m.Name(), N: n,
-		SyntaxK:  map[int]float64{},
-		FuncK:    map[int]float64{},
-		PartialK: map[int]float64{},
-	}
-	for _, k := range ks {
-		var sSum, fSum, pSum float64
-		for i := 0; i < nInst; i++ {
-			var sC, fC, pC int
-			for s := 0; s < n; s++ {
-				o := outcomes[i*n+s]
-				if o.Syntax {
-					sC++
-				}
-				if o.Full {
-					fC++
-				}
-				if o.Partial {
-					pC++
-				}
-			}
-			sSum += metrics.PassAtK(n, sC, k)
-			fSum += metrics.PassAtK(n, fC, k)
-			pSum += metrics.PassAtK(n, pC, k)
-		}
-		rep.SyntaxK[k] = sSum / float64(nInst)
-		rep.FuncK[k] = fSum / float64(nInst)
-		rep.PartialK[k] = pSum / float64(nInst)
-	}
-	return rep
-}
-
-// ---- Design2SVA ---------------------------------------------------------
-
-// DesignOutcome is the judged result of one Design2SVA response set.
-type DesignOutcome struct {
-	InstanceID string
-	// per-sample verdicts
-	Syntax []bool
-	Proven []bool
-}
-
-// DesignReport aggregates Design2SVA pass@k for one model and design
-// category.
-type DesignReport struct {
-	Model   string
-	Kind    string
-	N       int
-	SyntaxK map[int]float64
-	FuncK   map[int]float64
-}
-
-// RunDesign2SVA evaluates models on a design category with n samples
-// per instance (Table 5 halves).
-func RunDesign2SVA(models []llm.Model, kind string, opt Options) ([]DesignReport, error) {
-	opt = opt.withDefaults()
-	if opt.Samples < 2 {
-		opt.Samples = 5
-	}
-	insts := rtlgen.Sweep96(kind)
-	if opt.Limit > 0 && opt.Limit < len(insts) {
-		insts = insts[:opt.Limit]
-	}
-	n := opt.Samples
-	// identical snippets recur across samples and models; memoize the
-	// expensive elaborate+prove judgment per (instance, snippet)
-	type cell struct{ syntax, proven bool }
-	var cacheMu sync.Mutex
-	cache := map[string]cell{}
-	var reports []DesignReport
-	for _, m := range models {
-		cells := make([]cell, len(insts)*n)
-		parallelMap(len(cells), opt.Workers, func(idx int) {
-			i, s := idx/n, idx%n
-			inst := insts[i]
-			p := llm.BuildDesignPrompt(inst)
-			resp := m.Generate(p, s)
-			code := llm.ExtractCode(resp)
-			key := inst.ID + "\x00" + code
-			cacheMu.Lock()
-			c, ok := cache[key]
-			cacheMu.Unlock()
-			if !ok {
-				syn, prov := JudgeDesign(inst, code, opt.Budget)
-				c = cell{syn, prov}
-				cacheMu.Lock()
-				cache[key] = c
-				cacheMu.Unlock()
-			}
-			cells[idx] = c
-		})
-		rep := DesignReport{
-			Model: m.Name(), Kind: kind, N: n,
-			SyntaxK: map[int]float64{}, FuncK: map[int]float64{},
-		}
-		for _, k := range []int{1, 5} {
-			var sSum, fSum float64
-			for i := range insts {
-				var sC, fC int
-				for s := 0; s < n; s++ {
-					if cells[i*n+s].syntax {
-						sC++
-					}
-					if cells[i*n+s].proven {
-						fC++
-					}
-				}
-				sSum += metrics.PassAtK(n, sC, k)
-				fSum += metrics.PassAtK(n, fC, k)
-			}
-			rep.SyntaxK[k] = sSum / float64(len(insts))
-			rep.FuncK[k] = fSum / float64(len(insts))
-		}
-		reports = append(reports, rep)
-	}
-	return reports, nil
 }
 
 // JudgeDesign re-formats the testbench with the model's snippet,

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"fveval/internal/gen/rtlgen"
-	"fveval/internal/llm"
 )
 
 func TestLoadHuman(t *testing.T) {
@@ -38,7 +37,7 @@ func TestJudgeTranslationClasses(t *testing.T) {
 	in := insts[0] // fifo underflow check
 	ref := in.Reference
 	// exact reference: full pass
-	o := judgeTranslation(in.ID, "```systemverilog\n"+ref.String()+"\n```", ref, in.Sigs, 0)
+	o := JudgeTranslation(in.ID, "```systemverilog\n"+ref.String()+"\n```", ref, in.Sigs, 0, nil)
 	if !o.Syntax || !o.Full || !o.Partial {
 		t.Fatalf("reference must fully pass: %+v", o)
 	}
@@ -46,93 +45,60 @@ func TestJudgeTranslationClasses(t *testing.T) {
 		t.Fatalf("reference BLEU: %f", o.BLEU)
 	}
 	// broken syntax
-	o = judgeTranslation(in.ID, "assert property (@(posedge clk) a |-> eventually(b));", ref, in.Sigs, 0)
+	o = JudgeTranslation(in.ID, "assert property (@(posedge clk) a |-> eventually(b));", ref, in.Sigs, 0, nil)
 	if o.Syntax {
 		t.Fatalf("hallucinated operator must fail syntax")
 	}
 	// undeclared signal -> elaboration failure -> syntax fail
-	o = judgeTranslation(in.ID, "assert property (@(posedge clk) ghost |-> rd_pop);", ref, in.Sigs, 0)
+	o = JudgeTranslation(in.ID, "assert property (@(posedge clk) ghost |-> rd_pop);", ref, in.Sigs, 0, nil)
 	if o.Syntax {
 		t.Fatalf("undeclared signal must fail syntax")
 	}
 	// weaker variant: partial only
-	o = judgeTranslation(in.ID,
+	o = JudgeTranslation(in.ID,
 		"assert property (@(posedge clk) disable iff (tb_reset) (fifo_empty && rd_pop && wr_push) !== 1'b1);",
-		ref, in.Sigs, 0)
+		ref, in.Sigs, 0, nil)
 	if !o.Syntax || o.Full || !o.Partial {
 		t.Fatalf("weakened variant must be partial: %+v", o)
 	}
 }
 
-func TestRunHumanSmall(t *testing.T) {
-	models := []llm.Model{llm.ModelByName("gpt-4o"), llm.ModelByName("llama-3-8b")}
-	reports, err := RunNL2SVAHuman(models, Options{Limit: 12})
-	if err != nil {
-		t.Fatal(err)
+func TestAggregate(t *testing.T) {
+	outs := []Outcome{
+		{Syntax: true, Full: true, Partial: true, BLEU: 1.0},
+		{Syntax: true, Full: false, Partial: true, BLEU: 0.5},
+		{Syntax: false, Full: false, Partial: false, BLEU: 0.25},
+		{Syntax: true, Full: false, Partial: false, BLEU: 0.25},
 	}
-	if len(reports) != 2 {
-		t.Fatalf("reports: %d", len(reports))
+	r := Aggregate("m", outs)
+	if r.Count != 4 || r.Syntax != 0.75 || r.Func != 0.25 || r.Partial != 0.5 {
+		t.Fatalf("aggregate: %+v", r)
 	}
-	for _, r := range reports {
-		if r.Count != 12 {
-			t.Fatalf("%s: count %d", r.Model, r.Count)
-		}
-		if r.Partial < r.Func {
-			t.Fatalf("%s: partial %f < func %f", r.Model, r.Partial, r.Func)
-		}
-		if r.Syntax < r.Partial {
-			t.Fatalf("%s: syntax %f < partial %f", r.Model, r.Syntax, r.Partial)
-		}
+	if r.BLEU != 0.5 {
+		t.Fatalf("bleu: %f", r.BLEU)
 	}
-	// the stronger model should not lose to the weakest by a wide
-	// margin on this slice
-	if reports[0].Func+0.3 < reports[1].Func {
-		t.Fatalf("gpt-4o proxy unexpectedly weak: %f vs %f", reports[0].Func, reports[1].Func)
-	}
-	out := FormatTable1(reports)
-	if !strings.Contains(out, "gpt-4o") {
-		t.Fatalf("table must mention models:\n%s", out)
+	empty := Aggregate("m", nil)
+	if empty.Count != 0 || empty.Syntax != 0 {
+		t.Fatalf("empty aggregate: %+v", empty)
 	}
 }
 
-func TestRunMachineSmallBothShots(t *testing.T) {
-	models := []llm.Model{llm.ModelByName("gemini-1.5-pro")}
-	zero, err := RunNL2SVAMachine(models, 0, 20, Options{})
-	if err != nil {
-		t.Fatal(err)
+func TestAggregatePassKBounds(t *testing.T) {
+	// 2 instances x 3 samples; instance 0 always passes Func, instance 1 never
+	outs := []Outcome{
+		{Syntax: true, Full: true, Partial: true},
+		{Syntax: true, Full: true, Partial: true},
+		{Syntax: true, Full: true, Partial: true},
+		{Syntax: true},
+		{Syntax: true},
+		{Syntax: false},
 	}
-	three, err := RunNL2SVAMachine(models, 3, 20, Options{})
-	if err != nil {
-		t.Fatal(err)
+	r := AggregatePassK("m", 2, 3, []int{1, 3}, outs)
+	if r.FuncK[1] != 0.5 || r.FuncK[3] != 0.5 {
+		t.Fatalf("func@k: %+v", r.FuncK)
 	}
-	// gemini-1.5-pro has the paper's dramatic 0-shot -> 3-shot syntax
-	// jump (0.467 -> 0.880); with only 20 instances allow wide noise
-	// but demand an improvement.
-	if three[0].Syntax <= zero[0].Syntax {
-		t.Errorf("3-shot syntax (%f) must beat 0-shot (%f) for gemini-1.5-pro",
-			three[0].Syntax, zero[0].Syntax)
-	}
-	tbl := FormatTable3(zero, three)
-	if !strings.Contains(tbl, "gemini-1.5-pro") {
-		t.Fatalf("table 3 malformed:\n%s", tbl)
-	}
-}
-
-func TestPassKImprovesOverPass1(t *testing.T) {
-	models := []llm.Model{llm.ModelByName("gpt-4o")}
-	reports, err := RunNL2SVAHumanPassK(models, []int{1, 3, 5}, Options{Limit: 15, Samples: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	r := reports[0]
-	if r.FuncK[5] < r.FuncK[1] {
-		t.Errorf("func@5 (%f) must be >= func@1 (%f)", r.FuncK[5], r.FuncK[1])
-	}
-	if r.SyntaxK[5] < r.SyntaxK[1] {
-		t.Errorf("syntax@5 must be >= syntax@1")
-	}
-	if FormatTable2(reports) == "" {
-		t.Fatalf("table 2 must render")
+	if r.SyntaxK[3] < r.SyntaxK[1] {
+		t.Fatalf("pass@3 must dominate pass@1: %+v", r.SyntaxK)
 	}
 }
 
@@ -181,21 +147,6 @@ func intNotIn(xs []int, v int) bool {
 	return true
 }
 
-func TestRunDesignSmall(t *testing.T) {
-	models := []llm.Model{llm.ModelByName("gpt-4o")}
-	reports, err := RunDesign2SVA(models, "fsm", Options{Limit: 4, Samples: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	r := reports[0]
-	if r.SyntaxK[5] < r.SyntaxK[1] || r.FuncK[5] < r.FuncK[1] {
-		t.Fatalf("pass@5 must dominate pass@1: %+v", r)
-	}
-	if FormatTable5(reports, reports) == "" {
-		t.Fatalf("table 5 must render")
-	}
-}
-
 func TestFiguresRender(t *testing.T) {
 	f2, err := Figure2()
 	if err != nil {
@@ -210,11 +161,15 @@ func TestFiguresRender(t *testing.T) {
 	if !strings.Contains(Figure4(), "pipeline") {
 		t.Fatalf("figure 4 malformed")
 	}
-	f6, err := Figure6([]llm.Model{llm.ModelByName("gpt-4o")}, Options{Limit: 10})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(f6, "corr(BLEU, Func)") {
+	// Figure6 is a pure formatter over reports (the engine runs the
+	// evaluation); feed it a synthetic report.
+	rep := Aggregate("toy-model", []Outcome{
+		{Full: true, BLEU: 0.9},
+		{Full: false, BLEU: 0.8},
+		{Full: true, BLEU: 0.2},
+	})
+	f6 := Figure6([]ModelReport{rep})
+	if !strings.Contains(f6, "corr(BLEU, Func)") || !strings.Contains(f6, "toy-model") {
 		t.Fatalf("figure 6 malformed:\n%s", f6)
 	}
 }

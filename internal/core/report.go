@@ -7,7 +7,6 @@ import (
 
 	"fveval/internal/dataset/human"
 	"fveval/internal/gen/rtlgen"
-	"fveval/internal/llm"
 	"fveval/internal/metrics"
 )
 
@@ -156,13 +155,9 @@ func Figure4() string {
 }
 
 // Figure6 reproduces the BLEU-vs-functional-correctness correlation
-// analysis for the given models (the paper uses gpt-4o and
-// llama-3.1-70b).
-func Figure6(models []llm.Model, opt Options) (string, error) {
-	reports, err := RunNL2SVAHuman(models, opt)
-	if err != nil {
-		return "", err
-	}
+// analysis from NL2SVA-Human reports (the paper uses gpt-4o and
+// llama-3.1-70b); run the evaluation first via the engine.
+func Figure6(reports []ModelReport) string {
 	var b strings.Builder
 	b.WriteString("Figure 6: BLEU vs formal functional equivalence (NL2SVA-Human)\n")
 	for _, r := range reports {
@@ -180,7 +175,7 @@ func Figure6(models []llm.Model, opt Options) (string, error) {
 			r.Model, corr, len(xs))
 	}
 	b.WriteString("(low correlation reproduces the paper's finding that BLEU does not capture formal equivalence)\n")
-	return b.String(), nil
+	return b.String()
 }
 
 // SortReports orders model reports by Func descending for stable

@@ -1,0 +1,428 @@
+// Package engine is the unified evaluation runner for all FVEval
+// sub-benchmarks. It flattens an entire run — every (model, instance,
+// sample) tuple — into one job queue, drains the queue with a bounded
+// worker pool, and streams outcomes into per-model aggregators whose
+// final fold walks outcome slots in deterministic grid order. Final
+// tables are therefore byte-identical regardless of worker count,
+// scheduling order, sharding off/on differences aside, or whether the
+// equivalence-check cache is enabled.
+//
+// One engine owns one run-wide equiv.Cache: pass@k evaluation
+// re-checks many duplicate candidate/reference pairs across samples
+// and models, and memoizing equiv.Check collapses those repeated SAT
+// solves. Horizontal scaling across processes is supported by Shard,
+// which partitions the instance axis (never the sample axis, so
+// per-instance pass@k folds stay complete within a shard).
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fveval/internal/core"
+	"fveval/internal/equiv"
+	"fveval/internal/gen/rtlgen"
+	"fveval/internal/llm"
+	"fveval/internal/sva"
+)
+
+// Shard selects one horizontal slice of the instance axis: a process
+// configured with {Index: i, Count: n} evaluates instances whose
+// position modulo n equals i. The zero value disables sharding.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// Enabled reports whether the shard actually partitions work.
+func (s Shard) Enabled() bool { return s.Count > 1 }
+
+// Validate rejects malformed shard specs.
+func (s Shard) Validate() error {
+	if s.Count < 0 || s.Index < 0 {
+		return fmt.Errorf("engine: negative shard %d/%d", s.Index, s.Count)
+	}
+	if s.Count > 0 && s.Index >= s.Count {
+		return fmt.Errorf("engine: shard index %d out of range 0..%d", s.Index, s.Count-1)
+	}
+	return nil
+}
+
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return "none"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// Config tunes a benchmark run.
+type Config struct {
+	// Limit truncates the instance list (0 = all); tests use small
+	// limits, benches run full size. Applied before sharding.
+	Limit int
+	// Samples per instance for pass@k runs.
+	Samples int
+	// Budget caps SAT conflicts per query (0 = default 200000).
+	Budget int64
+	// Workers bounds the evaluation pool (0 = GOMAXPROCS).
+	Workers int
+	// Shard restricts this process to one slice of the instance axis.
+	Shard Shard
+	// NoCache disables every run-wide memo (equivalence checks,
+	// translation judgments, design judgments). Verdicts are identical
+	// either way; the memos only skip duplicate solves.
+	NoCache bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget == 0 {
+		c.Budget = 200000
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Samples == 0 {
+		c.Samples = 1
+	}
+	return c
+}
+
+// Engine executes benchmark runs over one shared equivalence cache.
+type Engine struct {
+	cfg   Config
+	cache *equiv.Cache
+
+	// transMu guards transMemo, the run-wide translation-judgment memo:
+	// identical extracted responses recur across samples and models, and
+	// memoizing the whole judgment skips their repeated parse, BLEU, and
+	// equivalence work. nil when NoCache is set.
+	transMu   sync.Mutex
+	transMemo map[string]core.Outcome
+
+	// designMu guards designMemo: identical Design2SVA snippets recur
+	// across samples and models, so the expensive elaborate+prove
+	// judgment is memoized per (kind, instance, snippet). nil when
+	// NoCache is set.
+	designMu   sync.Mutex
+	designMemo map[string]designCell
+}
+
+type designCell struct{ syntax, proven bool }
+
+// dataset tags namespace memo keys across sub-benchmarks.
+const (
+	datasetHuman   = "human"
+	datasetMachine = "machine"
+)
+
+// New builds an engine; cfg.Shard must be valid (see Shard.Validate —
+// New panics on malformed specs so misconfigured processes fail loudly
+// instead of silently evaluating the wrong slice).
+func New(cfg Config) *Engine {
+	if err := cfg.Shard.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg}
+	if !cfg.NoCache {
+		e.cache = equiv.NewCache()
+		e.transMemo = map[string]core.Outcome{}
+		e.designMemo = map[string]designCell{}
+	}
+	return e
+}
+
+// judgeTranslation memoizes core.JudgeTranslation per (dataset,
+// instance, extracted code). The judgment depends only on the code and
+// the instance's reference environment — never on the prompt or shot
+// count — so entries are shared across samples, models, and shot
+// settings. Judgments are deterministic, so racing duplicate
+// computation is harmless.
+func (e *Engine) judgeTranslation(dataset, id, response string, ref *sva.Assertion, sigs *equiv.Sigs) core.Outcome {
+	if e.transMemo == nil {
+		return core.JudgeTranslation(id, response, ref, sigs, e.cfg.Budget, e.cache)
+	}
+	code := llm.ExtractCode(response)
+	key := dataset + "\x00" + id + "\x00" + code
+	e.transMu.Lock()
+	o, ok := e.transMemo[key]
+	e.transMu.Unlock()
+	if ok {
+		return o
+	}
+	// ExtractCode is idempotent, so the pre-extracted code stands in
+	// for the raw response.
+	o = core.JudgeTranslation(id, code, ref, sigs, e.cfg.Budget, e.cache)
+	e.transMu.Lock()
+	e.transMemo[key] = o
+	e.transMu.Unlock()
+	return o
+}
+
+// Config returns the resolved (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// CacheStats snapshots the equivalence-cache counters; all zero when
+// the cache is disabled.
+func (e *Engine) CacheStats() equiv.CacheStats { return e.cache.Stats() }
+
+// ---- flattened job grid -------------------------------------------------
+
+// job identifies one evaluation cell in the flattened grid.
+type job struct {
+	model, inst, sample int
+}
+
+// slot addresses a job's outcome: outcomes[model][inst*samples+sample].
+func (j job) slot(samples int) int { return j.inst*samples + j.sample }
+
+// runGrid drains the full models × instances × samples grid through a
+// bounded worker pool. Workers stream results to a single collector
+// goroutine that places each outcome in its deterministic slot;
+// aggregation then folds the slots in grid order, so the result is
+// independent of worker count and completion order.
+func (e *Engine) runGrid(nModels, nInst, nSamples int, eval func(j job) core.Outcome) [][]core.Outcome {
+	outcomes := make([][]core.Outcome, nModels)
+	for m := range outcomes {
+		outcomes[m] = make([]core.Outcome, nInst*nSamples)
+	}
+	total := nModels * nInst * nSamples
+	if total == 0 {
+		return outcomes
+	}
+
+	jobs := make(chan job, e.cfg.Workers)
+	type result struct {
+		j   job
+		out core.Outcome
+	}
+	results := make(chan result, e.cfg.Workers)
+
+	var workers sync.WaitGroup
+	w := e.cfg.Workers
+	if w > total {
+		w = total
+	}
+	for i := 0; i < w; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for j := range jobs {
+				results <- result{j: j, out: eval(j)}
+			}
+		}()
+	}
+
+	var collector sync.WaitGroup
+	collector.Add(1)
+	go func() {
+		defer collector.Done()
+		for r := range results {
+			outcomes[r.j.model][r.j.slot(nSamples)] = r.out
+		}
+	}()
+
+	for m := 0; m < nModels; m++ {
+		for i := 0; i < nInst; i++ {
+			for s := 0; s < nSamples; s++ {
+				jobs <- job{model: m, inst: i, sample: s}
+			}
+		}
+	}
+	close(jobs)
+	workers.Wait()
+	close(results)
+	collector.Wait()
+	return outcomes
+}
+
+// clip truncates to cfg.Limit, then keeps this shard's instances.
+func clip[T any](xs []T, cfg Config) []T {
+	if cfg.Limit > 0 && cfg.Limit < len(xs) {
+		xs = xs[:cfg.Limit]
+	}
+	if !cfg.Shard.Enabled() {
+		return xs
+	}
+	var out []T
+	for i, x := range xs {
+		if i%cfg.Shard.Count == cfg.Shard.Index {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// passKSamples resolves the sample count for pass@k runs (the paper
+// draws 5 samples; a config of 0/1 means "use the paper default").
+func (e *Engine) passKSamples() int {
+	if e.cfg.Samples < 2 {
+		return 5
+	}
+	return e.cfg.Samples
+}
+
+// ---- NL2SVA-Human -------------------------------------------------------
+
+// NL2SVAHuman evaluates models with greedy decoding (Table 1).
+func (e *Engine) NL2SVAHuman(models []llm.Model) ([]core.ModelReport, error) {
+	insts, err := core.LoadHuman()
+	if err != nil {
+		return nil, err
+	}
+	insts = clip(insts, e.cfg)
+	outs := e.runGrid(len(models), len(insts), 1, func(j job) core.Outcome {
+		in := insts[j.inst]
+		p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
+		resp := models[j.model].Generate(p, 0)
+		return e.judgeTranslation(datasetHuman, in.ID, resp, in.Reference, in.Sigs)
+	})
+	var reports []core.ModelReport
+	for m, model := range models {
+		reports = append(reports, core.Aggregate(model.Name(), outs[m]))
+	}
+	return reports, nil
+}
+
+// NL2SVAHumanPassK evaluates pass@k with multiple samples (Table 2).
+func (e *Engine) NL2SVAHumanPassK(models []llm.Model, ks []int) ([]core.PassKReport, error) {
+	insts, err := core.LoadHuman()
+	if err != nil {
+		return nil, err
+	}
+	insts = clip(insts, e.cfg)
+	n := e.passKSamples()
+	outs := e.runGrid(len(models), len(insts), n, func(j job) core.Outcome {
+		in := insts[j.inst]
+		p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
+		resp := models[j.model].Generate(p, j.sample)
+		return e.judgeTranslation(datasetHuman, in.ID, resp, in.Reference, in.Sigs)
+	})
+	var reports []core.PassKReport
+	for m, model := range models {
+		reports = append(reports, core.AggregatePassK(model.Name(), len(insts), n, ks, outs[m]))
+	}
+	return reports, nil
+}
+
+// ---- NL2SVA-Machine -----------------------------------------------------
+
+// NL2SVAMachine evaluates the machine benchmark at a shot count
+// (Table 3 columns).
+func (e *Engine) NL2SVAMachine(models []llm.Model, shots, count int) ([]core.ModelReport, error) {
+	insts := clip(core.LoadMachine(count), e.cfg)
+	outs := e.runGrid(len(models), len(insts), 1, func(j job) core.Outcome {
+		in := insts[j.inst]
+		p := llm.BuildMachinePrompt(in.ID, in.NL, shots, in.Reference)
+		resp := models[j.model].Generate(p, 0)
+		return e.judgeTranslation(datasetMachine, in.ID, resp, in.Reference, in.Sigs)
+	})
+	var reports []core.ModelReport
+	for m, model := range models {
+		reports = append(reports, core.Aggregate(model.Name(), outs[m]))
+	}
+	return reports, nil
+}
+
+// NL2SVAMachinePassK evaluates machine pass@k at 3-shot (Table 4).
+func (e *Engine) NL2SVAMachinePassK(models []llm.Model, ks []int, count int) ([]core.PassKReport, error) {
+	insts := clip(core.LoadMachine(count), e.cfg)
+	n := e.passKSamples()
+	outs := e.runGrid(len(models), len(insts), n, func(j job) core.Outcome {
+		in := insts[j.inst]
+		p := llm.BuildMachinePrompt(in.ID, in.NL, 3, in.Reference)
+		resp := models[j.model].Generate(p, j.sample)
+		return e.judgeTranslation(datasetMachine, in.ID, resp, in.Reference, in.Sigs)
+	})
+	var reports []core.PassKReport
+	for m, model := range models {
+		reports = append(reports, core.AggregatePassK(model.Name(), len(insts), n, ks, outs[m]))
+	}
+	return reports, nil
+}
+
+// ---- Design2SVA ---------------------------------------------------------
+
+// Design2SVA evaluates models on a design category with n samples per
+// instance (Table 5 halves). Outcome.Full carries "proven".
+func (e *Engine) Design2SVA(models []llm.Model, kind string) ([]core.DesignReport, error) {
+	insts := clip(rtlgen.Sweep96(kind), e.cfg)
+	n := e.passKSamples()
+	outs := e.runGrid(len(models), len(insts), n, func(j job) core.Outcome {
+		inst := insts[j.inst]
+		p := llm.BuildDesignPrompt(inst)
+		resp := models[j.model].Generate(p, j.sample)
+		code := llm.ExtractCode(resp)
+		c := e.judgeDesignMemo(kind, inst, code)
+		return core.Outcome{InstanceID: inst.ID, Response: code, Syntax: c.syntax, Full: c.proven}
+	})
+	var reports []core.DesignReport
+	for m, model := range models {
+		reports = append(reports, core.AggregateDesign(model.Name(), kind, len(insts), n, []int{1, 5}, outs[m]))
+	}
+	return reports, nil
+}
+
+// judgeDesignMemo memoizes core.JudgeDesign per (kind, instance,
+// snippet). Duplicate computation under contention is possible but
+// harmless: the judgment is deterministic.
+func (e *Engine) judgeDesignMemo(kind string, inst *rtlgen.Instance, code string) designCell {
+	if e.designMemo == nil {
+		syn, prov := core.JudgeDesign(inst, code, e.cfg.Budget)
+		return designCell{syntax: syn, proven: prov}
+	}
+	key := kind + "\x00" + inst.ID + "\x00" + code
+	e.designMu.Lock()
+	c, ok := e.designMemo[key]
+	e.designMu.Unlock()
+	if ok {
+		return c
+	}
+	syn, prov := core.JudgeDesign(inst, code, e.cfg.Budget)
+	c = designCell{syntax: syn, proven: prov}
+	e.designMu.Lock()
+	e.designMemo[key] = c
+	e.designMu.Unlock()
+	return c
+}
+
+// ---- one-shot conveniences ----------------------------------------------
+
+// RunNL2SVAHuman runs Table 1's evaluation on a fresh engine.
+func RunNL2SVAHuman(models []llm.Model, cfg Config) ([]core.ModelReport, error) {
+	return New(cfg).NL2SVAHuman(models)
+}
+
+// RunNL2SVAHumanPassK runs Table 2's evaluation on a fresh engine.
+func RunNL2SVAHumanPassK(models []llm.Model, ks []int, cfg Config) ([]core.PassKReport, error) {
+	return New(cfg).NL2SVAHumanPassK(models, ks)
+}
+
+// RunNL2SVAMachine runs one shot-setting of Table 3 on a fresh engine.
+func RunNL2SVAMachine(models []llm.Model, shots, count int, cfg Config) ([]core.ModelReport, error) {
+	return New(cfg).NL2SVAMachine(models, shots, count)
+}
+
+// RunNL2SVAMachinePassK runs Table 4's evaluation on a fresh engine.
+func RunNL2SVAMachinePassK(models []llm.Model, ks []int, count int, cfg Config) ([]core.PassKReport, error) {
+	return New(cfg).NL2SVAMachinePassK(models, ks, count)
+}
+
+// RunDesign2SVA runs one category half of Table 5 on a fresh engine.
+func RunDesign2SVA(models []llm.Model, kind string, cfg Config) ([]core.DesignReport, error) {
+	return New(cfg).Design2SVA(models, kind)
+}
+
+// Figure6 runs the NL2SVA-Human evaluation and renders the BLEU-vs-
+// functional-correctness correlation analysis.
+func (e *Engine) Figure6(models []llm.Model) (string, error) {
+	reports, err := e.NL2SVAHuman(models)
+	if err != nil {
+		return "", err
+	}
+	return core.Figure6(reports), nil
+}

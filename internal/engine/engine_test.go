@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"fveval/internal/core"
+	"fveval/internal/llm"
+)
+
+func TestRunHumanSmall(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o"), llm.ModelByName("llama-3-8b")}
+	reports, err := RunNL2SVAHuman(models, Config{Limit: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports: %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.Count != 12 {
+			t.Fatalf("%s: count %d", r.Model, r.Count)
+		}
+		if r.Partial < r.Func {
+			t.Fatalf("%s: partial %f < func %f", r.Model, r.Partial, r.Func)
+		}
+		if r.Syntax < r.Partial {
+			t.Fatalf("%s: syntax %f < partial %f", r.Model, r.Syntax, r.Partial)
+		}
+	}
+	// the stronger model should not lose to the weakest by a wide
+	// margin on this slice
+	if reports[0].Func+0.3 < reports[1].Func {
+		t.Fatalf("gpt-4o proxy unexpectedly weak: %f vs %f", reports[0].Func, reports[1].Func)
+	}
+	out := core.FormatTable1(reports)
+	if !strings.Contains(out, "gpt-4o") {
+		t.Fatalf("table must mention models:\n%s", out)
+	}
+}
+
+func TestRunMachineSmallBothShots(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gemini-1.5-pro")}
+	zero, err := RunNL2SVAMachine(models, 0, 20, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := RunNL2SVAMachine(models, 3, 20, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gemini-1.5-pro has the paper's dramatic 0-shot -> 3-shot syntax
+	// jump (0.467 -> 0.880); with only 20 instances allow wide noise
+	// but demand an improvement.
+	if three[0].Syntax <= zero[0].Syntax {
+		t.Errorf("3-shot syntax (%f) must beat 0-shot (%f) for gemini-1.5-pro",
+			three[0].Syntax, zero[0].Syntax)
+	}
+	tbl := core.FormatTable3(zero, three)
+	if !strings.Contains(tbl, "gemini-1.5-pro") {
+		t.Fatalf("table 3 malformed:\n%s", tbl)
+	}
+}
+
+func TestPassKImprovesOverPass1(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o")}
+	reports, err := RunNL2SVAHumanPassK(models, []int{1, 3, 5}, Config{Limit: 15, Samples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	if r.FuncK[5] < r.FuncK[1] {
+		t.Errorf("func@5 (%f) must be >= func@1 (%f)", r.FuncK[5], r.FuncK[1])
+	}
+	if r.SyntaxK[5] < r.SyntaxK[1] {
+		t.Errorf("syntax@5 must be >= syntax@1")
+	}
+	if core.FormatTable2(reports) == "" {
+		t.Fatalf("table 2 must render")
+	}
+}
+
+func TestRunDesignSmall(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o")}
+	reports, err := RunDesign2SVA(models, "fsm", Config{Limit: 4, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	if r.SyntaxK[5] < r.SyntaxK[1] || r.FuncK[5] < r.FuncK[1] {
+		t.Fatalf("pass@5 must dominate pass@1: %+v", r)
+	}
+	if core.FormatTable5(reports, reports) == "" {
+		t.Fatalf("table 5 must render")
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts demands byte-identical rendered
+// tables for 1 vs 8 workers on every sub-benchmark flow.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o"), llm.ModelByName("llama-3.1-70b")}
+	render := func(workers int) string {
+		cfg := Config{Limit: 10, Samples: 3, Workers: workers}
+		var b strings.Builder
+		t1, err := RunNL2SVAHuman(models, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(core.FormatTable1(t1))
+		t2, err := RunNL2SVAHumanPassK(models, []int{1, 3, 5}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(core.FormatTable2(t2))
+		t4, err := RunNL2SVAMachinePassK(models, []int{1, 3, 5}, 20, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(core.FormatTable4(t4))
+		t5, err := RunDesign2SVA(models, "fsm", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(core.FormatTable5(t5, t5))
+		b.WriteString(core.Figure6(t1))
+		return b.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("tables differ between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestCacheDoesNotChangeVerdicts checks cache-on vs cache-off verdict
+// equality, outcome by outcome, on the machine dataset.
+func TestCacheDoesNotChangeVerdicts(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o"), llm.ModelByName("gemini-1.5-flash")}
+	cached, err := RunNL2SVAMachinePassK(models, []int{1, 5}, 15, Config{Samples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := RunNL2SVAMachinePassK(models, []int{1, 5}, 15, Config{Samples: 4, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := core.FormatTable4(cached), core.FormatTable4(uncached); got != want {
+		t.Fatalf("cache changed the table:\n--- cached ---\n%s\n--- uncached ---\n%s", got, want)
+	}
+	// outcome-level equality on the greedy flow too
+	ec := New(Config{Limit: 20})
+	eu := New(Config{Limit: 20, NoCache: true})
+	rc, err := ec.NL2SVAMachine(models, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := eu.NL2SVAMachine(models, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range rc {
+		for i := range rc[m].Outcomes {
+			c, u := rc[m].Outcomes[i], ru[m].Outcomes[i]
+			if c != u {
+				t.Fatalf("outcome %d diverged: cached %+v uncached %+v", i, c, u)
+			}
+		}
+	}
+	if st := ec.CacheStats(); st.Hits+st.Misses == 0 {
+		t.Fatalf("cached engine saw no cache traffic")
+	}
+	if st := eu.CacheStats(); st.Hits+st.Misses != 0 {
+		t.Fatalf("uncached engine counted cache traffic: %+v", st)
+	}
+}
+
+// TestCacheHitsOnPassK verifies the run-wide cache actually collapses
+// duplicate equivalence queries in a pass@k run.
+func TestCacheHitsOnPassK(t *testing.T) {
+	e := New(Config{Limit: 10, Samples: 5})
+	models := []llm.Model{llm.ModelByName("gpt-4o"), llm.ModelByName("llama-3.1-70b")}
+	if _, err := e.NL2SVAMachinePassK(models, []int{1, 5}, 10); err != nil {
+		t.Fatal(err)
+	}
+	st := e.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("expected duplicate queries across samples/models to hit: %+v", st)
+	}
+	if st.HitRate() <= 0 || st.HitRate() >= 1 {
+		t.Fatalf("hit rate out of range: %f", st.HitRate())
+	}
+}
+
+// TestShardsPartitionInstances checks that shard slices are disjoint,
+// cover the full instance list, and agree with the unsharded run on
+// the instances they own.
+func TestShardsPartitionInstances(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o")}
+	full, err := RunNL2SVAHuman(models, Config{Limit: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]core.Outcome{}
+	for _, o := range full[0].Outcomes {
+		byID[o.InstanceID] = o
+	}
+	seen := map[string]bool{}
+	const n = 3
+	for i := 0; i < n; i++ {
+		part, err := RunNL2SVAHuman(models, Config{Limit: 12, Shard: Shard{Index: i, Count: n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range part[0].Outcomes {
+			if seen[o.InstanceID] {
+				t.Fatalf("instance %s appears in two shards", o.InstanceID)
+			}
+			seen[o.InstanceID] = true
+			if want, ok := byID[o.InstanceID]; !ok || want != o {
+				t.Fatalf("shard outcome for %s diverges from full run", o.InstanceID)
+			}
+		}
+	}
+	if len(seen) != len(byID) {
+		t.Fatalf("shards cover %d of %d instances", len(seen), len(byID))
+	}
+}
+
+func TestShardValidate(t *testing.T) {
+	for _, s := range []Shard{{}, {Index: 0, Count: 1}, {Index: 2, Count: 3}} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("valid shard %v rejected: %v", s, err)
+		}
+	}
+	for _, s := range []Shard{{Index: 3, Count: 3}, {Index: -1, Count: 2}, {Index: 0, Count: -1}} {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("invalid shard %v accepted", s)
+		}
+	}
+	if (Shard{}).Enabled() || (Shard{Count: 1}).Enabled() {
+		t.Fatalf("trivial shards must be disabled")
+	}
+	if !(Shard{Index: 1, Count: 2}).Enabled() {
+		t.Fatalf("real shard must be enabled")
+	}
+}
+
+func TestEngineFigure6(t *testing.T) {
+	e := New(Config{Limit: 10})
+	out, err := e.Figure6([]llm.Model{llm.ModelByName("gpt-4o")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "corr(BLEU, Func)") {
+		t.Fatalf("figure 6 malformed:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	e := New(Config{})
+	cfg := e.Config()
+	if cfg.Budget != 200000 || cfg.Workers < 1 || cfg.Samples != 1 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
