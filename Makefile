@@ -9,8 +9,16 @@ build:
 test:
 	$(GO) test -race ./...
 
+# bench regenerates every table/figure once and refreshes the
+# BENCH_tables.json perf-trajectory artifact (benchmark -> ns/op, with
+# the prior run kept as baseline_ns_per_op for before/after diffs).
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out || \
+		{ cat bench.out; rm -f bench.out; exit 1; }
+	cat bench.out
+	$(GO) run ./cmd/benchjson -prev BENCH_tables.json < bench.out > BENCH_tables.json.tmp
+	mv BENCH_tables.json.tmp BENCH_tables.json
+	rm -f bench.out
 
 lint:
 	@unformatted="$$(gofmt -l .)"; \

@@ -1,0 +1,82 @@
+// Command benchjson converts `go test -bench` output into the
+// BENCH_tables.json perf-trajectory artifact: a map from benchmark
+// name (the Benchmark prefix and -cpus suffix stripped) to ns/op,
+// alongside the previous run's numbers so each artifact carries its
+// own before/after comparison.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | go run ./cmd/benchjson -prev BENCH_tables.json > BENCH_tables.json.new
+//
+// The Makefile bench target wires this up and rotates the file; CI
+// uploads it as a build artifact so the repo accumulates a perf
+// trajectory across PRs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// File is the BENCH_tables.json schema.
+type File struct {
+	Schema string `json:"schema"`
+	// NsPerOp maps benchmark name to nanoseconds per iteration for
+	// this run.
+	NsPerOp map[string]int64 `json:"ns_per_op"`
+	// BaselineNsPerOp carries the previous artifact's NsPerOp so the
+	// file itself records the before/after pair.
+	BaselineNsPerOp map[string]int64 `json:"baseline_ns_per_op,omitempty"`
+}
+
+// benchLine matches e.g. "BenchmarkTable2HumanPassK-8   3   53136316 ns/op".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+func main() {
+	prev := flag.String("prev", "", "previous BENCH_tables.json whose ns_per_op becomes this artifact's baseline")
+	flag.Parse()
+
+	out := File{Schema: "fveval-bench/v1", NsPerOp: map[string]int64{}}
+	if *prev != "" {
+		if data, err := os.ReadFile(*prev); err == nil {
+			var old File
+			if json.Unmarshal(data, &old) == nil && len(old.NsPerOp) > 0 {
+				out.BaselineNsPerOp = old.NsPerOp
+			}
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out.NsPerOp[m[1]] = int64(ns)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out.NsPerOp) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -11,6 +11,10 @@
 //	fveval -all -limit 20    # everything, truncated for a quick look
 //	fveval -table 4 -workers 8 -shard 0/4   # first of four horizontal shards
 //	fveval -table 2 -cache=false            # disable the equivalence memo
+//	fveval -table 2 -maxbound 12            # cap the formal bound ramp
+//
+// Solver-reuse and ramp statistics from the incremental formal
+// backend print to stderr next to the cache statistics.
 package main
 
 import (
@@ -35,6 +39,8 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation parallelism (0 = GOMAXPROCS)")
 	shard := flag.String("shard", "", "evaluate one instance slice, as i/n (e.g. 0/4); combine n processes to cover a run")
 	cache := flag.Bool("cache", true, "memoize formal equivalence checks across the run")
+	maxBound := flag.Int("maxbound", 0, "cap for the formal backend's bound ramp: lasso bound for equivalence, BMC depth for model checking (0 = defaults, 16 each)")
+	budget := flag.Int64("budget", 0, "SAT conflict budget per formal query (0 = default 200000)")
 	flag.Parse()
 
 	shardSpec, err := parseShard(*shard)
@@ -43,11 +49,13 @@ func main() {
 		os.Exit(2)
 	}
 	eng := engine.New(engine.Config{
-		Limit:   *limit,
-		Samples: *samples,
-		Workers: *workers,
-		Shard:   shardSpec,
-		NoCache: !*cache,
+		Limit:    *limit,
+		Samples:  *samples,
+		Budget:   *budget,
+		MaxBound: *maxBound,
+		Workers:  *workers,
+		Shard:    shardSpec,
+		NoCache:  !*cache,
 	})
 	if err := run(eng, *table, *figure, *all, *count); err != nil {
 		fmt.Fprintln(os.Stderr, "fveval:", err)
@@ -55,6 +63,9 @@ func main() {
 	}
 	if st := eng.CacheStats(); st.Hits+st.Misses > 0 {
 		fmt.Fprintln(os.Stderr, st)
+	}
+	if fs := eng.FormalStats(); fs.Queries > 0 {
+		fmt.Fprintln(os.Stderr, fs)
 	}
 }
 

@@ -12,7 +12,9 @@
 //     engine (flattened job queue, bounded worker pool, run-wide
 //     equivalence-check cache — see NewEngine for multi-run reuse),
 //   - the formal backend (SVA parsing/validation, assertion
-//     equivalence checking, RTL elaboration and model checking),
+//     equivalence checking, RTL elaboration and model checking), which
+//     solves incrementally: one assumption-based CDCL session per
+//     query with bound ramping (see Options.MaxBound and FormalStats),
 //   - the model layer (prompt construction, proxy model fleet), and
 //   - the metric set (BLEU, pass@k, token-length statistics).
 //
@@ -26,6 +28,7 @@ import (
 	"fveval/internal/core"
 	"fveval/internal/engine"
 	"fveval/internal/equiv"
+	"fveval/internal/formal"
 	"fveval/internal/llm"
 	"fveval/internal/metrics"
 	"fveval/internal/sva"
@@ -45,6 +48,13 @@ type Shard = engine.Shard
 
 // CacheStats reports equivalence-cache hit/miss counters for a run.
 type CacheStats = equiv.CacheStats
+
+// FormalStats reports the incremental formal backend's solver-reuse
+// and bound-ramp counters for a run (see Engine.FormalStats): formal
+// queries open persistent assumption-based SAT sessions that ramp the
+// bound upward, so most inequivalent pairs and shallow counterexamples
+// are decided at small bounds while proofs reuse all learnt clauses.
+type FormalStats = formal.Snapshot
 
 // NewEngine builds an evaluation engine; reuse one engine across runs
 // to share its equivalence cache.

@@ -199,9 +199,11 @@ func LoadMachine(count int) []*MachineInstance {
 
 // JudgeTranslation runs the full evaluation flow on one response:
 // extraction, BLEU, parse, validate, formal equivalence against the
-// reference. A non-nil cache memoizes the equivalence check; nil means
-// solve directly. Verdicts are identical either way.
-func JudgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs, budget int64, cache *equiv.Cache) Outcome {
+// reference. The checker options (budget, bound ramp ceiling, stats
+// sink) pass through to equiv.Check; a non-nil cache memoizes the
+// equivalence check, nil means solve directly. Verdicts are identical
+// either way.
+func JudgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs, opt equiv.Options, cache *equiv.Cache) Outcome {
 	code := llm.ExtractCode(response)
 	out := Outcome{InstanceID: id, Response: code}
 	out.BLEU = metrics.BLEU(code, ref.String())
@@ -212,7 +214,7 @@ func JudgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs,
 	if err := sva.Validate(cand); err != nil {
 		return out
 	}
-	res, err := cache.Check(cand, ref, sigs, equiv.Options{Budget: budget})
+	res, err := cache.Check(cand, ref, sigs, opt)
 	if err != nil {
 		// elaboration failure (undeclared signals etc.) counts against
 		// the syntax metric, mirroring the tool compile step
@@ -230,8 +232,10 @@ func JudgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs,
 
 // JudgeDesign re-formats the testbench with the model's snippet,
 // elaborates the bound DUT+testbench system, and model-checks the
-// assertion — the paper's Design2SVA evaluation flow.
-func JudgeDesign(inst *rtlgen.Instance, snippet string, budget int64) (syntaxOK, proven bool) {
+// assertion — the paper's Design2SVA evaluation flow. The checker
+// options (budget, depths, stats sink) pass through to
+// mc.CheckAssertion.
+func JudgeDesign(inst *rtlgen.Instance, snippet string, opt mc.Options) (syntaxOK, proven bool) {
 	merged := insertBeforeEndmodule(inst.Bench, snippet)
 	f, err := rtl.Parse(inst.Design + "\n" + merged)
 	if err != nil {
@@ -254,7 +258,7 @@ func JudgeDesign(inst *rtlgen.Instance, snippet string, budget int64) (syntaxOK,
 	syntaxOK = true
 	proven = true
 	for _, a := range sys.Asserts {
-		res, err := mc.CheckAssertion(sys, a, mc.Options{Budget: budget})
+		res, err := mc.CheckAssertion(sys, a, opt)
 		if err != nil {
 			return false, false // elaboration error inside the property
 		}

@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"fveval/internal/equiv"
 	"fveval/internal/gen/rtlgen"
+	"fveval/internal/mc"
 )
 
 func TestLoadHuman(t *testing.T) {
@@ -37,7 +39,7 @@ func TestJudgeTranslationClasses(t *testing.T) {
 	in := insts[0] // fifo underflow check
 	ref := in.Reference
 	// exact reference: full pass
-	o := JudgeTranslation(in.ID, "```systemverilog\n"+ref.String()+"\n```", ref, in.Sigs, 0, nil)
+	o := JudgeTranslation(in.ID, "```systemverilog\n"+ref.String()+"\n```", ref, in.Sigs, equiv.Options{}, nil)
 	if !o.Syntax || !o.Full || !o.Partial {
 		t.Fatalf("reference must fully pass: %+v", o)
 	}
@@ -45,19 +47,19 @@ func TestJudgeTranslationClasses(t *testing.T) {
 		t.Fatalf("reference BLEU: %f", o.BLEU)
 	}
 	// broken syntax
-	o = JudgeTranslation(in.ID, "assert property (@(posedge clk) a |-> eventually(b));", ref, in.Sigs, 0, nil)
+	o = JudgeTranslation(in.ID, "assert property (@(posedge clk) a |-> eventually(b));", ref, in.Sigs, equiv.Options{}, nil)
 	if o.Syntax {
 		t.Fatalf("hallucinated operator must fail syntax")
 	}
 	// undeclared signal -> elaboration failure -> syntax fail
-	o = JudgeTranslation(in.ID, "assert property (@(posedge clk) ghost |-> rd_pop);", ref, in.Sigs, 0, nil)
+	o = JudgeTranslation(in.ID, "assert property (@(posedge clk) ghost |-> rd_pop);", ref, in.Sigs, equiv.Options{}, nil)
 	if o.Syntax {
 		t.Fatalf("undeclared signal must fail syntax")
 	}
 	// weaker variant: partial only
 	o = JudgeTranslation(in.ID,
 		"assert property (@(posedge clk) disable iff (tb_reset) (fifo_empty && rd_pop && wr_push) !== 1'b1);",
-		ref, in.Sigs, 0, nil)
+		ref, in.Sigs, equiv.Options{}, nil)
 	if !o.Syntax || o.Full || !o.Partial {
 		t.Fatalf("weakened variant must be partial: %+v", o)
 	}
@@ -115,20 +117,20 @@ func TestJudgeDesign(t *testing.T) {
 	}
 	body += ")"
 	good := "assert property (@(posedge clk) disable iff (tb_reset) " + body + ");"
-	syn, proven := JudgeDesign(inst, good, 0)
+	syn, proven := JudgeDesign(inst, good, mc.Options{})
 	if !syn || !proven {
 		t.Fatalf("ground-truth assertion: syntax=%v proven=%v\n%s", syn, proven, good)
 	}
 	// DUT-internal signal reference must fail syntax (elaboration)
 	bad := "assert property (@(posedge clk) disable iff (tb_reset) state == 'd0);"
-	syn, _ = JudgeDesign(inst, bad, 0)
+	syn, _ = JudgeDesign(inst, bad, mc.Options{})
 	if syn {
 		t.Fatalf("DUT-internal signal must fail elaboration")
 	}
 	// wrong successor claim parses but is not proven
 	wrong := "assert property (@(posedge clk) disable iff (tb_reset) fsm_out == S0 |=> (fsm_out == S0));"
 	if intNotIn(succ, 0) {
-		syn, proven = JudgeDesign(inst, wrong, 0)
+		syn, proven = JudgeDesign(inst, wrong, mc.Options{})
 		if !syn {
 			t.Fatalf("wrong claim must still pass syntax")
 		}

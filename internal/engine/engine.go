@@ -22,8 +22,10 @@ import (
 
 	"fveval/internal/core"
 	"fveval/internal/equiv"
+	"fveval/internal/formal"
 	"fveval/internal/gen/rtlgen"
 	"fveval/internal/llm"
+	"fveval/internal/mc"
 	"fveval/internal/sva"
 )
 
@@ -63,8 +65,15 @@ type Config struct {
 	Limit int
 	// Samples per instance for pass@k runs.
 	Samples int
-	// Budget caps SAT conflicts per query (0 = default 200000).
+	// Budget caps SAT conflicts per query (0 = default 200000). With
+	// the incremental backend a query is one formal direction or one
+	// model-checking depth; the budget is a per-call delta inside the
+	// solver, so it keeps meaning "conflicts per query" across the
+	// ramp.
 	Budget int64
+	// MaxBound caps the lasso bound the equivalence ramp may grow to
+	// and the BMC falsification depth (0 = backend defaults, 16 each).
+	MaxBound int
 	// Workers bounds the evaluation pool (0 = GOMAXPROCS).
 	Workers int
 	// Shard restricts this process to one slice of the instance axis.
@@ -93,8 +102,9 @@ func (c Config) withDefaults() Config {
 
 // Engine executes benchmark runs over one shared equivalence cache.
 type Engine struct {
-	cfg   Config
-	cache *equiv.Cache
+	cfg    Config
+	cache  *equiv.Cache
+	formal *formal.Stats // incremental-backend reuse counters (never nil)
 
 	// transMu guards transMemo, the run-wide translation-judgment memo:
 	// identical extracted responses recur across samples and models, and
@@ -127,7 +137,7 @@ func New(cfg Config) *Engine {
 		panic(err)
 	}
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, formal: &formal.Stats{}}
 	if !cfg.NoCache {
 		e.cache = equiv.NewCache()
 		e.transMemo = map[string]core.Outcome{}
@@ -143,8 +153,9 @@ func New(cfg Config) *Engine {
 // settings. Judgments are deterministic, so racing duplicate
 // computation is harmless.
 func (e *Engine) judgeTranslation(dataset, id, response string, ref *sva.Assertion, sigs *equiv.Sigs) core.Outcome {
+	opt := e.equivOptions()
 	if e.transMemo == nil {
-		return core.JudgeTranslation(id, response, ref, sigs, e.cfg.Budget, e.cache)
+		return core.JudgeTranslation(id, response, ref, sigs, opt, e.cache)
 	}
 	code := llm.ExtractCode(response)
 	key := dataset + "\x00" + id + "\x00" + code
@@ -156,7 +167,7 @@ func (e *Engine) judgeTranslation(dataset, id, response string, ref *sva.Asserti
 	}
 	// ExtractCode is idempotent, so the pre-extracted code stands in
 	// for the raw response.
-	o = core.JudgeTranslation(id, code, ref, sigs, e.cfg.Budget, e.cache)
+	o = core.JudgeTranslation(id, code, ref, sigs, opt, e.cache)
 	e.transMu.Lock()
 	e.transMemo[key] = o
 	e.transMu.Unlock()
@@ -169,6 +180,29 @@ func (e *Engine) Config() Config { return e.cfg }
 // CacheStats snapshots the equivalence-cache counters; all zero when
 // the cache is disabled.
 func (e *Engine) CacheStats() equiv.CacheStats { return e.cache.Stats() }
+
+// FormalStats snapshots the incremental formal backend's solver-reuse
+// and bound-ramp counters for this engine's runs.
+func (e *Engine) FormalStats() formal.Snapshot { return e.formal.Snapshot() }
+
+// equivOptions resolves the equivalence-checker options for this run.
+func (e *Engine) equivOptions() equiv.Options {
+	return equiv.Options{
+		Budget:   e.cfg.Budget,
+		MaxBound: e.cfg.MaxBound,
+		Stats:    e.formal,
+	}
+}
+
+// mcOptions resolves the model-checker options for this run. MaxBound
+// caps the falsification depth; proof depths stay at backend defaults.
+func (e *Engine) mcOptions() mc.Options {
+	return mc.Options{
+		Budget:   e.cfg.Budget,
+		BMCDepth: e.cfg.MaxBound,
+		Stats:    e.formal,
+	}
+}
 
 // ---- flattened job grid -------------------------------------------------
 
@@ -372,7 +406,7 @@ func (e *Engine) Design2SVA(models []llm.Model, kind string) ([]core.DesignRepor
 // harmless: the judgment is deterministic.
 func (e *Engine) judgeDesignMemo(kind string, inst *rtlgen.Instance, code string) designCell {
 	if e.designMemo == nil {
-		syn, prov := core.JudgeDesign(inst, code, e.cfg.Budget)
+		syn, prov := core.JudgeDesign(inst, code, e.mcOptions())
 		return designCell{syntax: syn, proven: prov}
 	}
 	key := kind + "\x00" + inst.ID + "\x00" + code
@@ -382,7 +416,7 @@ func (e *Engine) judgeDesignMemo(kind string, inst *rtlgen.Instance, code string
 	if ok {
 		return c
 	}
-	syn, prov := core.JudgeDesign(inst, code, e.cfg.Budget)
+	syn, prov := core.JudgeDesign(inst, code, e.mcOptions())
 	c = designCell{syntax: syn, proven: prov}
 	e.designMu.Lock()
 	e.designMemo[key] = c

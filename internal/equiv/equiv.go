@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"fveval/internal/bitvec"
+	"fveval/internal/formal"
 	"fveval/internal/logic"
 	"fveval/internal/ltl"
 	"fveval/internal/sat"
@@ -53,14 +54,21 @@ type Sigs struct {
 
 // Options tunes the checker.
 type Options struct {
-	// MaxBound caps the lasso length K (0 = default 16).
+	// MaxBound caps the lasso length K the ramp may grow to
+	// (0 = default 16).
 	MaxBound int
 	// Bound, when positive, forces the lasso length K exactly
-	// (clamped to the formula depth + 1); used by bound-sweep
-	// ablations.
+	// (clamped to the formula depth + 1) and disables the ramp —
+	// one solve at that bound; used by bound-sweep ablations.
 	Bound int
-	// Budget caps SAT conflicts per direction (0 = unlimited).
+	// Budget caps SAT conflicts per solver call (0 = unlimited): each
+	// ramp step of each direction gets the full allowance, so the
+	// authoritative final-bound solve keeps exactly the budget the
+	// former one-shot check gave it.
 	Budget int64
+	// Stats, when non-nil, receives solver-reuse and ramp counters.
+	// It never affects verdicts (and is excluded from cache keys).
+	Stats *formal.Stats
 }
 
 // Trace is a decoded counterexample: signal values per position with a
@@ -95,7 +103,9 @@ type Result struct {
 	// AB is a witness trace satisfying A but not B (present when A
 	// does not imply B); BA likewise.
 	AB, BA *Trace
-	// Bound is the lasso length used.
+	// Bound is the largest lasso bound the checker actually solved at;
+	// with the incremental ramp a witness trace may live at a smaller
+	// bound, recorded in its own Len.
 	Bound int
 }
 
@@ -254,16 +264,31 @@ func checkFormulas(fa, fb ltl.Formula, sigs *Sigs, opt Options) (Result, error) 
 	usesPast := ltl.UsesPast(fa) || ltl.UsesPast(fb)
 	unbounded := ltl.HasUnbounded(fa) || ltl.HasUnbounded(fb)
 
-	abTrace, err := findWitness(fa, fb, sigs, k, usesPast, unbounded, opt)
-	if err != nil {
-		return Result{}, err
+	// Bound ramp: probe at the smallest bound the formulas can evaluate
+	// at, then finish at the final bound k. A witness word found at a
+	// small bound is representable at every larger one, and the last
+	// ramp step poses exactly the fixed-bound query, so verdicts match
+	// the one-shot check — small counterexamples just surface after far
+	// less encoding and solving. Pure bounded-future pairs collapse
+	// further: their truth depends only on positions 0..depth, so the
+	// first evaluable bound already decides the query in one solve. A
+	// forced Bound (ablations) skips the ramp entirely.
+	var ks []int
+	switch {
+	case opt.Bound > 0:
+		ks = []int{k}
+	case !usesPast && !unbounded:
+		ks = []int{depth + 1}
+	default:
+		ks = rampSchedule(depth+1, k)
 	}
-	baTrace, err := findWitness(fb, fa, sigs, k, usesPast, unbounded, opt)
+
+	abTrace, baTrace, solved, err := findWitnesses(fa, fb, sigs, ks, usesPast, unbounded, opt)
 	if err != nil {
 		return Result{}, err
 	}
 
-	res := Result{AB: abTrace, BA: baTrace, Bound: k}
+	res := Result{AB: abTrace, BA: baTrace, Bound: solved}
 	switch {
 	case abTrace == nil && baTrace == nil:
 		res.Verdict = Equivalent
@@ -277,17 +302,10 @@ func checkFormulas(fa, fb ltl.Formula, sigs *Sigs, opt Options) (Result, error) 
 	return res, nil
 }
 
-// findWitness searches for a lasso trace satisfying f but violating g.
-// nil result means no witness up to the bound (f implies g).
-func findWitness(f, g ltl.Formula, sigs *Sigs, k int, usesPast, unbounded bool, opt Options) (*Trace, error) {
-	b := logic.NewBuilder()
-	env := ltl.NewTraceEnv(b, sigs.Widths, sigs.Consts)
-	ev := &ltl.ExprEval{Ops: bitvec.Ops{B: b}, Env: env}
-
-	names := unionNames(f, g)
-
-	// Candidate loop positions. Pure bounded-future formulas are
-	// insensitive to the loop, one suffices.
+// loopsFor picks the candidate loop positions at bound k. Pure
+// bounded-future formulas are insensitive to the loop, one suffices;
+// past references need a position to look back from.
+func loopsFor(k int, usesPast, unbounded bool) []int {
 	var loops []int
 	switch {
 	case !unbounded && !usesPast:
@@ -301,43 +319,145 @@ func findWitness(f, g ltl.Formula, sigs *Sigs, k int, usesPast, unbounded bool, 
 			loops = append(loops, l)
 		}
 	}
+	return loops
+}
 
-	perLoop := make(map[int]logic.Node)
-	total := logic.False
-	for _, l := range loops {
-		le := ltl.NewLassoEval(ev, k, l)
-		tf, err := le.Truth(f, 0)
-		if err != nil {
-			return nil, err
-		}
-		tg, err := le.Truth(g, 0)
-		if err != nil {
-			return nil, err
-		}
-		viol := b.And(tf, tg.Not())
-		if usesPast && l >= 1 {
-			// Seam consistency: past references at the loop entry must
-			// agree between the first and repeated loop traversals.
-			viol = b.And(viol, seamConstraint(b, env, ev, names, l, k))
-		}
-		perLoop[l] = viol
-		total = b.Or(total, viol)
+// rampSchedule enumerates the bounds an incremental query visits: a
+// probe at kMin (where small counterexamples live), then straight to
+// kMax (so the final step poses the same query a one-shot fixed-bound
+// check would). Queries here are construction-dominated, not
+// conflict-dominated, so intermediate rungs would cost more encoding
+// than they save in solving.
+func rampSchedule(kMin, kMax int) []int {
+	if kMin < 1 {
+		kMin = 1
 	}
+	if kMin >= kMax {
+		return []int{kMax}
+	}
+	return []int{kMin, kMax}
+}
+
+// direction tracks one implication direction's progress through the
+// shared incremental session.
+type direction struct {
+	f, g  ltl.Formula // searching for a trace satisfying f, violating g
+	trace *Trace
+	done  bool
+	early bool // decided before the final ramp bound
+
+	solves, conflicts, learntKept int64
+}
+
+// findWitnesses searches for lasso traces separating the two formulas
+// in both directions at once, ramping the lasso bound through ks on
+// one persistent solver shared by the whole pair (see DESIGN.md §7).
+// Both directions' violation circuits are built over one structurally
+// hashed builder — their truth cones are the same two formulas — and
+// each (direction, bound) constraint is gated behind its own
+// activation literal: solved under assumption, retired on UNSAT. The
+// solver's learnt clauses, variable activity, and the Tseitin
+// encoding carry across bounds and directions. A nil trace means no
+// witness up to the final bound (that direction's implication holds).
+func findWitnesses(fa, fb ltl.Formula, sigs *Sigs, ks []int, usesPast, unbounded bool, opt Options) (*Trace, *Trace, int, error) {
+	b := logic.NewBuilder()
+	env := ltl.NewTraceEnv(b, sigs.Widths, sigs.Consts)
+	ev := &ltl.ExprEval{Ops: bitvec.Ops{B: b}, Env: env}
+	family := ltl.NewLassoFamily(ev)
+
+	names := unionNames(fa, fb)
 
 	s := sat.New()
 	if opt.Budget > 0 {
 		s.SetBudget(opt.Budget)
 	}
 	cnf := logic.NewCNF(b, s)
-	cnf.Assert(total)
-	ok, model, err := s.SolveModel()
-	if err != nil {
-		return nil, err
+	dirs := [2]*direction{
+		{f: fa, g: fb},
+		{f: fb, g: fa},
 	}
-	if !ok {
-		return nil, nil
+	var hashBase int64
+	report := func() {
+		for _, dir := range dirs {
+			opt.Stats.Query(dir.solves, dir.conflicts, dir.learntKept, dir.early)
+		}
+		opt.Stats.GatesShared(b.HashHits() - hashBase)
+		opt.Stats.NodesEncoded(int64(cnf.Encoded()))
 	}
-	return decodeTrace(b, env, cnf, model, names, sigs, k, perLoop), nil
+	// Every exit — verdict, budget exhaustion, or elaboration error —
+	// must account the session's solver work.
+	fail := func(err error) (*Trace, *Trace, int, error) {
+		report()
+		return nil, nil, 0, err
+	}
+
+	solved := 0
+	for step, k := range ks {
+		solved = k // reaching a step means at least one direction solves here
+		loops := loopsFor(k, usesPast, unbounded)
+		for di, dir := range dirs {
+			if dir.done {
+				continue
+			}
+			perLoop := make(map[int]logic.Node)
+			total := logic.False
+			for _, l := range loops {
+				le := family.At(k, l)
+				tf, err := le.Truth(dir.f, 0)
+				if err != nil {
+					return fail(err)
+				}
+				tg, err := le.Truth(dir.g, 0)
+				if err != nil {
+					return fail(err)
+				}
+				viol := b.And(tf, tg.Not())
+				if usesPast && l >= 1 {
+					// Seam consistency: past references at the loop entry
+					// must agree between the first and repeated loop
+					// traversals.
+					viol = b.And(viol, seamConstraint(b, env, ev, names, l, k))
+				}
+				perLoop[l] = viol
+				total = b.Or(total, viol)
+			}
+			if step == 0 && di == 0 {
+				// Reuse below the first direction's first bound is
+				// baseline circuit CSE, not incremental savings.
+				hashBase = b.HashHits()
+			}
+
+			act := b.Input(fmt.Sprintf("ramp_act@%d.%d", k, di))
+			cnf.AssertIf(act, total)
+
+			pre := s.Stats()
+			if pre.Solves > 0 {
+				dir.learntKept += int64(pre.Learnt)
+			}
+			ok, model, err := s.SolveModel(cnf.Lit(act))
+			post := s.Stats()
+			dir.solves++
+			dir.conflicts += post.Conflicts - pre.Conflicts
+			if err != nil {
+				return fail(err)
+			}
+			if ok {
+				dir.trace = decodeTrace(b, env, cnf, model, names, sigs, k, perLoop)
+				dir.done = true
+				dir.early = step < len(ks)-1
+			}
+			// Retire the activation either way: a found witness ends this
+			// direction, and an UNSAT bound's constraints must drop out
+			// before the next one. Everything learnt stays.
+			cnf.Retire(act)
+		}
+		if dirs[0].done && dirs[1].done {
+			report()
+			return dirs[0].trace, dirs[1].trace, solved, nil
+		}
+	}
+	report()
+	return dirs[0].trace, dirs[1].trace, solved, nil
 }
 
 func seamConstraint(b *logic.Builder, env *ltl.TraceEnv, ev *ltl.ExprEval, names []string, l, k int) logic.Node {

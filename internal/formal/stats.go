@@ -1,0 +1,98 @@
+// Package formal holds cross-cutting instrumentation for the formal
+// backend: the equivalence checker and the model checker both run
+// incremental, assumption-based SAT sessions with bound ramping, and
+// both report into one Stats sink so the engine can surface
+// solver-reuse numbers next to its cache statistics.
+package formal
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats accumulates incremental-backend counters. All fields are
+// atomic so one Stats value can be shared across the engine's worker
+// pool; a nil *Stats is valid and drops every report.
+type Stats struct {
+	queries     atomic.Int64 // incremental solver sessions opened
+	solves      atomic.Int64 // individual Solve calls issued
+	earlyStops  atomic.Int64 // sessions decided below their final bound
+	conflicts   atomic.Int64 // SAT conflicts spent across all sessions
+	learntKept  atomic.Int64 // learnt clauses alive entering a reused call
+	gatesShared atomic.Int64 // circuit nodes reused instead of re-encoded
+	encoded     atomic.Int64 // circuit nodes Tseitin-encoded into solvers
+}
+
+// Query records one incremental session: the number of Solve calls it
+// issued, the conflicts it spent, how many learnt clauses later calls
+// inherited from earlier ones, and whether the verdict arrived before
+// the final ramp bound.
+func (s *Stats) Query(solves, conflicts, learntKept int64, early bool) {
+	if s == nil {
+		return
+	}
+	s.queries.Add(1)
+	s.solves.Add(solves)
+	s.conflicts.Add(conflicts)
+	s.learntKept.Add(learntKept)
+	if early {
+		s.earlyStops.Add(1)
+	}
+}
+
+// GatesShared records circuit nodes a ramp step obtained from the
+// structural hash instead of building and encoding afresh.
+func (s *Stats) GatesShared(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.gatesShared.Add(n)
+}
+
+// NodesEncoded records circuit nodes a session actually emitted as
+// CNF (its emitter's high-water count at close) — the denominator
+// GatesShared saves against.
+func (s *Stats) NodesEncoded(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.encoded.Add(n)
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Queries     int64
+	Solves      int64
+	EarlyStops  int64
+	Conflicts   int64
+	LearntKept  int64
+	GatesShared int64
+	Encoded     int64
+}
+
+// Snapshot copies the counters; zero for a nil receiver.
+func (s *Stats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Queries:     s.queries.Load(),
+		Solves:      s.solves.Load(),
+		EarlyStops:  s.earlyStops.Load(),
+		Conflicts:   s.conflicts.Load(),
+		LearntKept:  s.learntKept.Load(),
+		GatesShared: s.gatesShared.Load(),
+		Encoded:     s.encoded.Load(),
+	}
+}
+
+func (s Snapshot) String() string {
+	if s.Queries == 0 {
+		return "formal backend: no incremental queries"
+	}
+	return fmt.Sprintf(
+		"formal backend: %d queries, %d incremental solves (%.2f/query), %d early ramp exits (%.1f%%), %d conflicts, %d learnt clauses carried, %d gates shared / %d encoded",
+		s.Queries, s.Solves, float64(s.Solves)/float64(s.Queries),
+		s.EarlyStops, 100*float64(s.EarlyStops)/float64(s.Queries),
+		s.Conflicts, s.LearntKept, s.GatesShared, s.Encoded)
+}

@@ -42,11 +42,12 @@ type gate struct {
 // builder's node table; a Node from one builder must not be used with
 // another.
 type Builder struct {
-	gates  []gate          // index 0 unused (reserved for constants)
-	hash   map[gate]Node   // structural hashing
-	inputs []Node          // free input nodes in creation order
-	names  map[Node]string // debug names of inputs
-	isVar  []bool          // per-index: true if free input
+	gates    []gate          // index 0 unused (reserved for constants)
+	hash     map[gate]Node   // structural hashing
+	inputs   []Node          // free input nodes in creation order
+	names    map[Node]string // debug names of inputs
+	isVar    []bool          // per-index: true if free input
+	hashHits int64           // And calls answered from the hash table
 }
 
 // NewBuilder returns an empty circuit builder.
@@ -63,6 +64,12 @@ func NewBuilder() *Builder {
 // NumNodes returns the number of allocated nodes (gates + inputs),
 // excluding constants.
 func (b *Builder) NumNodes() int { return len(b.gates) - 1 }
+
+// HashHits returns the number of And constructions answered from the
+// structural-hash table instead of allocating a new gate — the
+// circuit-level reuse measure for incremental clients that keep one
+// builder alive across a ramp of bounds.
+func (b *Builder) HashHits() int64 { return b.hashHits }
 
 // Input allocates a fresh free input node with a debug name.
 func (b *Builder) Input(name string) Node {
@@ -103,6 +110,7 @@ func (b *Builder) And(x, y Node) Node {
 	}
 	g := gate{x, y}
 	if n, ok := b.hash[g]; ok {
+		b.hashHits++
 		return n
 	}
 	idx := int32(len(b.gates))
@@ -199,16 +207,30 @@ func (b *Builder) evalIdx(idx int32, env map[Node]bool, cache map[int32]bool) bo
 }
 
 // CNF incrementally Tseitin-encodes circuit nodes into a sat.Solver.
+// Emission is monotone: each Lit/Assert call encodes only gates not
+// yet seen (tracked per node, with the high-water node mark exposed
+// via HighWater), so one growing Builder+Solver pair can serve many
+// queries — the builder keeps hashing new gates, and every emission
+// pays only for the newly built cone.
 type CNF struct {
-	b      *Builder
-	solver *sat.Solver
-	varOf  map[int32]int // node index -> sat var
+	b         *Builder
+	solver    *sat.Solver
+	varOf     map[int32]int // node index -> sat var
+	highWater int32         // largest node index encoded so far
 }
 
 // NewCNF creates a CNF emitter targeting the given solver.
 func NewCNF(b *Builder, s *sat.Solver) *CNF {
 	return &CNF{b: b, solver: s, varOf: map[int32]int{}}
 }
+
+// Encoded returns the number of circuit nodes already emitted as CNF.
+func (c *CNF) Encoded() int { return len(c.varOf) }
+
+// HighWater returns the largest node index encoded so far: nodes at or
+// below the mark may already be in the solver, nodes above it are
+// guaranteed fresh work for the next emission.
+func (c *CNF) HighWater() int32 { return c.highWater }
 
 // Solver returns the underlying solver.
 func (c *CNF) Solver() *sat.Solver { return c.solver }
@@ -233,12 +255,12 @@ func (c *CNF) encode(idx int32) int {
 		v := c.solver.NewVar()
 		// constant-false variable
 		c.solver.AddClause(sat.NewLit(v, true))
-		c.varOf[0] = v
+		c.setVar(0, v)
 		return v
 	}
 	if c.b.isVar[idx] {
 		v := c.solver.NewVar()
-		c.varOf[idx] = v
+		c.setVar(idx, v)
 		return v
 	}
 	// Iterative post-order encoding to avoid deep recursion on long
@@ -283,12 +305,21 @@ func (c *CNF) encode(idx int32) int {
 	return c.varOf[idx]
 }
 
+// setVar records the sat variable for a node and advances the
+// high-water emission mark.
+func (c *CNF) setVar(idx int32, v int) {
+	c.varOf[idx] = v
+	if idx > c.highWater {
+		c.highWater = idx
+	}
+}
+
 func (c *CNF) encodeLeaf(idx int32) {
 	if _, ok := c.varOf[idx]; ok {
 		return
 	}
 	v := c.solver.NewVar()
-	c.varOf[idx] = v
+	c.setVar(idx, v)
 	if idx == 0 {
 		c.solver.AddClause(sat.NewLit(v, true))
 	}
@@ -299,7 +330,7 @@ func (c *CNF) emitAnd(idx int32, g gate) {
 		return
 	}
 	v := c.solver.NewVar()
-	c.varOf[idx] = v
+	c.setVar(idx, v)
 	out := sat.NewLit(v, false)
 	a := c.litOf(g.a)
 	b := c.litOf(g.b)
@@ -319,6 +350,23 @@ func (c *CNF) litOf(n Node) sat.Lit {
 
 // Assert adds a unit clause requiring node n to be true.
 func (c *CNF) Assert(n Node) { c.solver.AddClause(c.Lit(n)) }
+
+// AssertIf adds the clause (cond -> n): n must hold whenever cond
+// does. With cond a fresh free input this gates a constraint behind an
+// activation literal — pass cond's literal as a Solve assumption to
+// enable the constraint for one call, or Retire it to drop the
+// constraint permanently.
+func (c *CNF) AssertIf(cond, n Node) {
+	c.solver.AddClause(c.Lit(cond).Not(), c.Lit(n))
+}
+
+// Retire permanently forces an activation node false, disabling every
+// constraint asserted under it. Learnt clauses mentioning the
+// activation stay sound: they are implied by the clause set, which now
+// simply includes the unit.
+func (c *CNF) Retire(act Node) {
+	c.solver.AddClause(c.Lit(act).Not())
+}
 
 // InputValue reads the value of an input node from a sat model.
 func (c *CNF) InputValue(model []bool, n Node) bool {

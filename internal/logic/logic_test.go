@@ -211,3 +211,73 @@ func TestAndAllOrAll(t *testing.T) {
 		t.Fatalf("OrAll(x,y) != Or(x,y)")
 	}
 }
+
+// TestCNFIncrementalEmission pins the monotone-emission contract the
+// incremental backend relies on: re-asserting an encoded cone emits
+// nothing, and asserting a new gate over an old cone pays only for the
+// new nodes, advancing the high-water mark.
+func TestCNFIncrementalEmission(t *testing.T) {
+	b := NewBuilder()
+	s := sat.New()
+	c := NewCNF(b, s)
+	x, y := b.Input("x"), b.Input("y")
+	n1 := b.And(x, y)
+	c.Assert(n1)
+	enc1, hw1, vars1 := c.Encoded(), c.HighWater(), s.NumVars()
+	if enc1 == 0 || hw1 == 0 {
+		t.Fatalf("first Assert must encode nodes: encoded=%d highwater=%d", enc1, hw1)
+	}
+
+	// Re-asserting the same cone is free.
+	c.Assert(n1)
+	if c.Encoded() != enc1 || c.HighWater() != hw1 || s.NumVars() != vars1 {
+		t.Fatalf("re-assert emitted: encoded %d->%d, highwater %d->%d, vars %d->%d",
+			enc1, c.Encoded(), hw1, c.HighWater(), vars1, s.NumVars())
+	}
+
+	// A new gate over the old cone pays only for the new nodes.
+	preNodes := b.NumNodes()
+	n2 := b.Or(n1, b.Input("z"))
+	newNodes := b.NumNodes() - preNodes
+	c.Assert(n2)
+	if got := c.Encoded() - enc1; got != newNodes {
+		t.Fatalf("incremental Assert encoded %d nodes, want exactly the %d new ones", got, newNodes)
+	}
+	if c.HighWater() <= hw1 {
+		t.Fatalf("high-water mark must advance past %d, got %d", hw1, c.HighWater())
+	}
+	if got := s.NumVars() - vars1; got != newNodes {
+		t.Fatalf("incremental Assert allocated %d sat vars, want %d", got, newNodes)
+	}
+}
+
+// TestCNFActivationGating pins AssertIf/Retire: a gated constraint
+// binds only under its activation assumption, and retiring the
+// activation drops it permanently.
+func TestCNFActivationGating(t *testing.T) {
+	b := NewBuilder()
+	s := sat.New()
+	c := NewCNF(b, s)
+	x := b.Input("x")
+	act := b.Input("act")
+	c.AssertIf(act, x.Not())
+	c.Assert(x) // permanent: x is true
+
+	if ok, err := s.Solve(); err != nil || !ok {
+		t.Fatalf("ungated solve must be sat: ok=%v err=%v", ok, err)
+	}
+	if ok, err := s.Solve(c.Lit(act)); err != nil || ok {
+		t.Fatalf("activated contradiction must be unsat: ok=%v err=%v", ok, err)
+	}
+	c.Retire(act)
+	if ok, err := s.Solve(); err != nil || !ok {
+		t.Fatalf("retired constraint must drop out: ok=%v err=%v", ok, err)
+	}
+	// Re-activating a retired literal is trivially unsat via the unit.
+	if ok, err := s.Solve(c.Lit(act)); err != nil || ok {
+		t.Fatalf("assuming a retired activation must be unsat: ok=%v err=%v", ok, err)
+	}
+	if core := s.Core(); len(core) != 1 || core[0] != c.Lit(act) {
+		t.Fatalf("core of retired activation must be the assumption itself, got %v", core)
+	}
+}

@@ -172,6 +172,34 @@ func (le *LassoEval) truth(f Formula, pos int) (logic.Node, error) {
 	return logic.False, &LowerError{"unknown formula node in lasso evaluation"}
 }
 
+// LassoFamily hands out LassoEval instances over one shared evaluator
+// (and therefore one shared circuit builder) as a bounded unroll
+// grows. Incremental clients ramp the bound K query by query; the
+// family memoizes the evaluator for each (K, L) pair, and because all
+// evaluators target the same structurally-hashed builder, formula
+// cones that are insensitive to the bound collapse to the same gates
+// across ramp steps — the CNF layer then emits each gate once.
+type LassoFamily struct {
+	Ev    *ExprEval
+	evals map[[2]int]*LassoEval
+}
+
+// NewLassoFamily creates an empty family over the evaluator.
+func NewLassoFamily(ev *ExprEval) *LassoFamily {
+	return &LassoFamily{Ev: ev, evals: map[[2]int]*LassoEval{}}
+}
+
+// At returns the (K, L)-lasso evaluator, creating it on first use.
+func (lf *LassoFamily) At(k, l int) *LassoEval {
+	key := [2]int{k, l}
+	if le, ok := lf.evals[key]; ok {
+		return le
+	}
+	le := NewLassoEval(lf.Ev, k, l)
+	lf.evals[key] = le
+	return le
+}
+
 // TraceEnv is a simple Env over lazily allocated free inputs — the
 // environment used for assertion-to-assertion equivalence where every
 // referenced signal is an unconstrained input at each trace position.

@@ -1,0 +1,181 @@
+package mc
+
+import (
+	"testing"
+
+	"fveval/internal/logic"
+	"fveval/internal/ltl"
+	"fveval/internal/rtl"
+	"fveval/internal/sat"
+	"fveval/internal/sva"
+)
+
+// Differential check of the incremental safety engine (persistent
+// solvers, per-depth activation literals) against a one-shot oracle
+// that re-encodes and re-solves every query from scratch — the
+// pre-incremental solve path.
+
+func oracleSafetyQuery(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, attempts, d int, freeInit bool, opt Options) (*Cex, error) {
+	n := attempts + d + 1
+	b := logic.NewBuilder()
+	fe := newFrameEnv(b, sys)
+	fe.initFrame0(freeInit)
+	if err := fe.unroll(n); err != nil {
+		return nil, err
+	}
+	le := ltl.NewLassoEval(fe.ev, n, n-1)
+	total := logic.False
+	for p := 0; p < attempts; p++ {
+		v, err := violation(fe, le, f, abort, p, d, false)
+		if err != nil {
+			return nil, err
+		}
+		total = b.Or(total, v)
+	}
+	asm, err := assumeConstraint(le, assumes, n)
+	if err != nil {
+		return nil, err
+	}
+	s := sat.New()
+	if opt.Budget > 0 {
+		s.SetBudget(opt.Budget)
+	}
+	cnf := logic.NewCNF(b, s)
+	cnf.Assert(b.And(total, asm))
+	ok, model, err := s.SolveModel()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return decodeCex(sys, fe, cnf, model, n, -1), nil
+}
+
+func oracleInductionStep(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, k, d int, opt Options) (bool, error) {
+	n := k + d + 2
+	b := logic.NewBuilder()
+	fe := newFrameEnv(b, sys)
+	fe.initFrame0(true)
+	if err := fe.unroll(n); err != nil {
+		return false, err
+	}
+	le := ltl.NewLassoEval(fe.ev, n, n-1)
+	s := sat.New()
+	if opt.Budget > 0 {
+		s.SetBudget(opt.Budget)
+	}
+	cnf := logic.NewCNF(b, s)
+	asm, err := assumeConstraint(le, assumes, n)
+	if err != nil {
+		return false, err
+	}
+	cnf.Assert(asm)
+	for p := 0; p < k; p++ {
+		v, err := violation(fe, le, f, abort, p, d, false)
+		if err != nil {
+			return false, err
+		}
+		cnf.Assert(v.Not())
+	}
+	v, err := violation(fe, le, f, abort, k, d, false)
+	if err != nil {
+		return false, err
+	}
+	cnf.Assert(v)
+	okSat, err := s.Solve()
+	if err != nil {
+		return false, err
+	}
+	return !okSat, nil
+}
+
+func oracleCheckSafety(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, opt Options) (Result, error) {
+	d := ltl.Depth(f)
+	for k := 1; k <= opt.MaxInduction; k++ {
+		cex, err := oracleSafetyQuery(sys, f, abort, assumes, k, d, false, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		if cex != nil {
+			return Result{Status: Falsified, Depth: k, Cex: cex}, nil
+		}
+		ind, err := oracleInductionStep(sys, f, abort, assumes, k, d, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		if ind {
+			return Result{Status: Proven, Depth: k}, nil
+		}
+	}
+	cex, err := oracleSafetyQuery(sys, f, abort, assumes, opt.BMCDepth, d, false, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	if cex != nil {
+		return Result{Status: Falsified, Depth: opt.BMCDepth, Cex: cex}, nil
+	}
+	return Result{Status: Unknown, Depth: opt.BMCDepth}, nil
+}
+
+// oracleCheckAssertion mirrors CheckAssertion through the oracle for
+// safety properties (liveness is unchanged by the refactor).
+func oracleCheckAssertion(sys *rtl.System, a *sva.Assertion, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	f, err := ltl.LowerAssertion(a)
+	if err != nil {
+		return Result{}, err
+	}
+	var abort sva.Expr
+	if a.DisableIff != nil {
+		abort = a.DisableIff
+	}
+	assumes, err := lowerAssumes(sys)
+	if err != nil {
+		return Result{}, err
+	}
+	if ltl.HasUnbounded(f) {
+		return checkLiveness(sys, f, abort, assumes, opt)
+	}
+	return oracleCheckSafety(sys, f, abort, assumes, opt)
+}
+
+func TestIncrementalSafetyMatchesOneShotOracle(t *testing.T) {
+	sys := fsmSystem(t)
+	cases := []string{
+		// proven by induction
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state == 2'b10 |-> (next_state == 2'b00 || next_state == 2'b01));`,
+		`assert property (@(posedge clk) fsm_out == state);`,
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state == 2'b00 |-> ##1 state == 2'b10);`,
+		// falsified at various depths
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state == 2'b10 |-> ##1 state == 2'b11);`,
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state != 2'b11);`,
+		`assert property (@(posedge clk) disable iff (!reset_)
+			state == 2'b10 |-> in_A == in_B);`,
+		// deeper falsification: S3 unreachable before three steps
+		`assert property (@(posedge clk) disable iff (!reset_)
+			##3 state != 2'b11);`,
+	}
+	for _, src := range cases {
+		a, err := sva.ParseAssertion(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		got, err1 := CheckAssertion(sys, a, Options{})
+		want, err2 := oracleCheckAssertion(sys, a, Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: error disagreement: incremental=%v oracle=%v", src, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if got.Status != want.Status || got.Depth != want.Depth {
+			t.Fatalf("%s: incremental (%v, depth %d) vs oracle (%v, depth %d)",
+				src, got.Status, got.Depth, want.Status, want.Depth)
+		}
+	}
+}

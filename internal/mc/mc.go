@@ -5,6 +5,13 @@
 // falsified with lasso-shaped bounded search (absence of a lasso
 // counterexample within the bound is reported as a bounded proof).
 //
+// Safety checking is incremental (DESIGN.md §7): one persistent
+// solver serves the BMC base cases (frame-by-frame unroll, per-depth
+// bad-state activation literals, early exit on the first
+// counterexample) and a second persistent solver is shared across the
+// k-induction steps, so learnt clauses and the Tseitin encoding are
+// paid for once per assertion rather than once per depth.
+//
 // Reset handling follows the formal-testbench convention of the
 // benchmark: registers start from their post-reset values, reset
 // inputs are free afterwards, and "disable iff" aborts discharge an
@@ -17,6 +24,7 @@ import (
 	"fmt"
 
 	"fveval/internal/bitvec"
+	"fveval/internal/formal"
 	"fveval/internal/logic"
 	"fveval/internal/ltl"
 	"fveval/internal/rtl"
@@ -67,6 +75,9 @@ type Options struct {
 	BMCDepth     int   // plain BMC falsification depth (default 16)
 	LassoBound   int   // lasso length for liveness (default 10)
 	Budget       int64 // SAT conflict budget per query (0 = unlimited)
+	// Stats, when non-nil, receives solver-reuse counters from the
+	// incremental sessions. Never affects verdicts.
+	Stats *formal.Stats
 }
 
 func (o Options) withDefaults() Options {
@@ -150,6 +161,7 @@ func CheckCover(sys *rtl.System, a *sva.Assertion, opt Options) (Result, error) 
 	cnf := logic.NewCNF(b, s)
 	cnf.Assert(b.And(hit, asm))
 	ok, model, err := s.SolveModel()
+	opt.Stats.Query(1, s.Stats().Conflicts, 0, false)
 	if err != nil {
 		return Result{}, err
 	}
@@ -363,116 +375,219 @@ func lassoReach(le *ltl.LassoEval, p int) []int {
 	return out
 }
 
-func checkSafety(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, opt Options) (Result, error) {
-	d := ltl.Depth(f)
-	// Interleave BMC base cases with induction steps.
-	for k := 1; k <= opt.MaxInduction; k++ {
-		// Base: frames 0..k+d from reset; attempts 0..k-1.
-		cex, err := safetyQuery(sys, f, abort, assumes, k, d, false, opt)
-		if err != nil {
-			return Result{}, err
-		}
-		if cex != nil {
-			return Result{Status: Falsified, Depth: k, Cex: cex}, nil
-		}
-		// Step: free initial state; no violation in 0..k-1, violation
-		// at k.
-		ind, err := inductionStep(sys, f, abort, assumes, k, d, opt)
-		if err != nil {
-			return Result{}, err
-		}
-		if ind {
-			return Result{Status: Proven, Depth: k}, nil
-		}
-	}
-	// Deep falsification attempt before giving up.
-	cex, err := safetyQuery(sys, f, abort, assumes, opt.BMCDepth, d, false, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	if cex != nil {
-		return Result{Status: Falsified, Depth: opt.BMCDepth, Cex: cex}, nil
-	}
-	return Result{Status: Unknown, Depth: opt.BMCDepth}, nil
+// safetySession is a persistent incremental solving context for one
+// side of the safety check (BMC base case or induction step): one
+// builder, frame environment, and SAT solver serve every depth, with
+// the unroll extended frame by frame, assumption instances asserted as
+// their windows come into range, and each depth's bad-state constraint
+// gated behind an activation literal (DESIGN.md §7). Learnt clauses,
+// variable activity, and the Tseitin encoding all carry across depths.
+type safetySession struct {
+	sys     *rtl.System
+	f       ltl.Formula
+	abort   sva.Expr
+	assumes []ltl.Formula
+	d       int
+
+	b      *logic.Builder
+	fe     *frameEnv
+	family *ltl.LassoFamily
+	s      *sat.Solver
+	cnf    *logic.CNF
+
+	frames   int   // frames currently unrolled
+	asmNext  []int // per assumption: next position to assert
+	goodNext int   // induction: good-attempt constraints asserted below this
+
+	solves, conflicts, learntKept, hashMark int64
 }
 
-// safetyQuery searches for a violated attempt among positions
-// 0..attempts-1 starting from the reset state.
-func safetyQuery(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, attempts, d int, freeInit bool, opt Options) (*Cex, error) {
-	n := attempts + d + 1
+func newSafetySession(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, d int, freeInit bool, opt Options) *safetySession {
 	b := logic.NewBuilder()
 	fe := newFrameEnv(b, sys)
 	fe.initFrame0(freeInit)
-	if err := fe.unroll(n); err != nil {
-		return nil, err
+	s := sat.New()
+	if opt.Budget > 0 {
+		// Per-call budget: every depth's Solve gets the full allowance,
+		// mirroring the former one-solver-per-query accounting.
+		s.SetBudget(opt.Budget)
 	}
-	le := ltl.NewLassoEval(fe.ev, n, n-1)
-	total := logic.False
-	for p := 0; p < attempts; p++ {
-		v, err := violation(fe, le, f, abort, p, d, false)
-		if err != nil {
+	return &safetySession{
+		sys: sys, f: f, abort: abort, assumes: assumes, d: d,
+		b: b, fe: fe, family: ltl.NewLassoFamily(fe.ev),
+		s: s, cnf: logic.NewCNF(b, s),
+		asmNext: make([]int, len(assumes)),
+	}
+}
+
+// grow extends the unroll to n frames and asserts every assumption
+// instance whose bounded window newly fits, then returns the lasso
+// evaluator for the grown bound. Bounded formulas evaluated strictly
+// inside the unroll never reach the saturating last frame, so nodes
+// built at smaller bounds are structurally identical at larger ones
+// and the CNF layer emits nothing twice.
+func (ss *safetySession) grow(n int) (*ltl.LassoEval, error) {
+	if n > ss.frames {
+		if err := ss.fe.unroll(n); err != nil {
 			return nil, err
 		}
-		total = b.Or(total, v)
+		ss.frames = n
 	}
-	asm, err := assumeConstraint(le, assumes, n)
+	le := ss.family.At(ss.frames, ss.frames-1)
+	for i, af := range ss.assumes {
+		ad := ltl.Depth(af)
+		for p := ss.asmNext[i]; p+ad < ss.frames; p++ {
+			node, err := le.Truth(af, p)
+			if err != nil {
+				return nil, err
+			}
+			ss.cnf.Assert(node)
+			ss.asmNext[i] = p + 1
+		}
+	}
+	return le, nil
+}
+
+// solveGated solves under a fresh activation literal guarding node v;
+// on UNSAT the activation is retired so later depths drop the
+// constraint but keep everything learnt.
+func (ss *safetySession) solveGated(name string, v logic.Node) (bool, []bool, error) {
+	act := ss.b.Input(name)
+	ss.cnf.AssertIf(act, v)
+	pre := ss.s.Stats()
+	if pre.Solves > 0 {
+		ss.learntKept += int64(pre.Learnt)
+	}
+	ok, model, err := ss.s.SolveModel(ss.cnf.Lit(act))
+	post := ss.s.Stats()
+	ss.solves++
+	ss.conflicts += post.Conflicts - pre.Conflicts
+	if pre.Solves == 0 {
+		ss.hashMark = ss.b.HashHits()
+	}
+	if err != nil || !ok {
+		ss.cnf.Retire(act)
+	}
+	return ok, model, err
+}
+
+// checkDepth asks whether the attempt at position k-1 can be violated
+// from the session's initial frame (the incremental BMC base case:
+// attempts below k-1 were refuted at earlier depths under a subset of
+// the current stimulus constraints, so they stay refuted and only the
+// frontier needs solving).
+func (ss *safetySession) checkDepth(k int) (*Cex, error) {
+	le, err := ss.grow(k + ss.d + 1)
 	if err != nil {
 		return nil, err
 	}
-	s := sat.New()
-	if opt.Budget > 0 {
-		s.SetBudget(opt.Budget)
+	v, err := violation(ss.fe, le, ss.f, ss.abort, k-1, ss.d, false)
+	if err != nil {
+		return nil, err
 	}
-	cnf := logic.NewCNF(b, s)
-	cnf.Assert(b.And(total, asm))
-	ok, model, err := s.SolveModel()
+	ok, model, err := ss.solveGated(fmt.Sprintf("bmc_act@%d", k), v)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, nil
 	}
-	return decodeCex(sys, fe, cnf, model, n, -1), nil
+	return decodeCex(ss.sys, ss.fe, ss.cnf, model, ss.frames, -1), nil
 }
 
-// inductionStep checks whether k consecutive good attempts from an
-// arbitrary state force the k+1st to be good. true = inductive.
-func inductionStep(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, k, d int, opt Options) (bool, error) {
-	n := k + d + 2
-	b := logic.NewBuilder()
-	fe := newFrameEnv(b, sys)
-	fe.initFrame0(true)
-	if err := fe.unroll(n); err != nil {
-		return false, err
-	}
-	le := ltl.NewLassoEval(fe.ev, n, n-1)
-	s := sat.New()
-	if opt.Budget > 0 {
-		s.SetBudget(opt.Budget)
-	}
-	cnf := logic.NewCNF(b, s)
-	asm, err := assumeConstraint(le, assumes, n)
+// induct checks whether k consecutive good attempts from an arbitrary
+// state force the k+1st to be good. true = inductive. Good-attempt
+// path constraints accumulate permanently as k grows; only the bad
+// k-th attempt is gated per depth.
+func (ss *safetySession) induct(k int) (bool, error) {
+	le, err := ss.grow(k + ss.d + 2)
 	if err != nil {
 		return false, err
 	}
-	cnf.Assert(asm)
-	for p := 0; p < k; p++ {
-		v, err := violation(fe, le, f, abort, p, d, false)
+	for p := ss.goodNext; p < k; p++ {
+		v, err := violation(ss.fe, le, ss.f, ss.abort, p, ss.d, false)
 		if err != nil {
 			return false, err
 		}
-		cnf.Assert(v.Not())
+		ss.cnf.Assert(v.Not())
 	}
-	v, err := violation(fe, le, f, abort, k, d, false)
+	ss.goodNext = k
+	v, err := violation(ss.fe, le, ss.f, ss.abort, k, ss.d, false)
 	if err != nil {
 		return false, err
 	}
-	cnf.Assert(v)
-	okSat, err := s.Solve()
+	ok, _, err := ss.solveGated(fmt.Sprintf("ind_act@%d", k), v)
 	if err != nil {
 		return false, err
 	}
-	return !okSat, nil
+	return !ok, nil
+}
+
+// report streams the session's reuse counters into the stats sink.
+func (ss *safetySession) report(st *formal.Stats, early bool) {
+	st.Query(ss.solves, ss.conflicts, ss.learntKept, early)
+	st.GatesShared(ss.b.HashHits() - ss.hashMark)
+	st.NodesEncoded(int64(ss.cnf.Encoded()))
+}
+
+func checkSafety(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, opt Options) (Result, error) {
+	d := ltl.Depth(f)
+	base := newSafetySession(sys, f, abort, assumes, d, false, opt)
+	step := newSafetySession(sys, f, abort, assumes, d, true, opt)
+	finish := func(res Result, early bool) Result {
+		base.report(opt.Stats, early)
+		step.report(opt.Stats, early)
+		return res
+	}
+	// Error exits (budget exhaustion, elaboration failures) must still
+	// account the sessions' solver work.
+	fail := func(err error) (Result, error) {
+		finish(Result{}, false)
+		return Result{}, err
+	}
+	// Interleave BMC base cases with induction steps on the two
+	// persistent solvers.
+	for k := 1; k <= opt.MaxInduction; k++ {
+		// Base: frames 0..k+d from reset; frontier attempt k-1.
+		cex, err := base.checkDepth(k)
+		if err != nil {
+			return fail(err)
+		}
+		if cex != nil {
+			return finish(Result{Status: Falsified, Depth: k, Cex: cex}, true), nil
+		}
+		// Step: free initial state; no violation in 0..k-1, violation
+		// at k.
+		ind, err := step.induct(k)
+		if err != nil {
+			return fail(err)
+		}
+		if ind {
+			return finish(Result{Status: Proven, Depth: k}, true), nil
+		}
+	}
+	// Deep falsification ramp before giving up, continuing the base
+	// session depth by depth with early exit on the first
+	// counterexample. Grow to the full deep window first so every
+	// frontier solves under the same assumption instances the one-shot
+	// deep query (frames BMCDepth+d+1) would conjoin — state-dependent
+	// assume properties beyond a frontier's own window must keep
+	// rejecting traces exactly as before.
+	if opt.MaxInduction < opt.BMCDepth {
+		if _, err := base.grow(opt.BMCDepth + d + 1); err != nil {
+			return fail(err)
+		}
+	}
+	for k := opt.MaxInduction + 1; k <= opt.BMCDepth; k++ {
+		cex, err := base.checkDepth(k)
+		if err != nil {
+			return fail(err)
+		}
+		if cex != nil {
+			return finish(Result{Status: Falsified, Depth: opt.BMCDepth, Cex: cex}, k < opt.BMCDepth), nil
+		}
+	}
+	return finish(Result{Status: Unknown, Depth: opt.BMCDepth}, false), nil
 }
 
 func checkLiveness(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, opt Options) (Result, error) {
@@ -536,6 +651,7 @@ func checkLiveness(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl
 	cnf := logic.NewCNF(b, s)
 	cnf.Assert(total)
 	ok, model, err := s.SolveModel()
+	opt.Stats.Query(1, s.Stats().Conflicts, 0, false)
 	if err != nil {
 		return Result{}, err
 	}

@@ -99,17 +99,23 @@ type Solver struct {
 	conflicts  int64
 	decisions  int64
 	propsCount int64
+	solves     int64
 
-	maxConflicts int64 // 0 = unlimited
+	maxConflicts int64 // per-call conflict budget; 0 = unlimited
+
+	core []Lit // failed-assumption core of the last unsat Solve
 
 	ok bool // false once an empty clause is derived
 }
 
-// Stats reports cumulative solver statistics.
+// Stats reports cumulative solver statistics. Counters accumulate
+// across Solve calls on the same solver, so incremental clients can
+// compute per-call deltas by snapshotting before and after a call.
 type Stats struct {
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
+	Solves       int64
 	Learnt       int
 	Clauses      int
 	Vars         int
@@ -156,8 +162,11 @@ func (s *Solver) NewVar() int {
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return s.nVars }
 
-// SetBudget limits the number of conflicts Solve may spend; 0 means
-// unlimited.
+// SetBudget limits the number of conflicts each Solve call may spend;
+// 0 means unlimited. The budget is a per-call delta, not a lifetime
+// cap: every Solve starts from a fresh allowance, so an incremental
+// client issuing many calls on one solver keeps a uniform
+// conflicts-per-query budget regardless of what earlier calls spent.
 func (s *Solver) SetBudget(conflicts int64) { s.maxConflicts = conflicts }
 
 // Stats returns solver statistics.
@@ -166,10 +175,21 @@ func (s *Solver) Stats() Stats {
 		Conflicts:    s.conflicts,
 		Decisions:    s.decisions,
 		Propagations: s.propsCount,
+		Solves:       s.solves,
 		Learnt:       len(s.learnts),
 		Clauses:      len(s.clauses),
 		Vars:         s.nVars,
 	}
+}
+
+// Core returns the failed-assumption core of the most recent
+// unsatisfiable Solve call: a subset of that call's assumptions which
+// by itself already forces unsatisfiability. An empty core on an
+// unsatisfiable call means the clause database is unsatisfiable
+// regardless of assumptions. The returned slice is a copy; it stays
+// valid across later calls.
+func (s *Solver) Core() []Lit {
+	return append([]Lit(nil), s.core...)
 }
 
 func (s *Solver) valueLit(l Lit) lbool {
@@ -432,6 +452,42 @@ func (s *Solver) litRedundant(l Lit, abstract int, toClear *[]Lit) bool {
 	return true
 }
 
+// analyzeFinal computes the failed-assumption core when assumption p
+// is found falsified during assumption enqueueing: the subset of the
+// current call's assumptions whose implication graph forces ~p. At
+// that point every decision on the trail is itself an assumption, so
+// walking reasons from ~p down and collecting reached decisions yields
+// a core that is by construction a subset of the assumptions.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	core := []Lit{p}
+	if s.decisionLevel() == 0 {
+		// ~p is implied at root level: p alone is inconsistent with the
+		// clause database.
+		return core
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if c := s.reason[v]; c == nil {
+			if s.level[v] > 0 {
+				core = append(core, s.trail[i])
+			}
+		} else {
+			for _, q := range c.lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+	return core
+}
+
 func (s *Solver) backtrack(level int) {
 	if s.decisionLevel() <= level {
 		return
@@ -573,30 +629,15 @@ func luby(i int64) int64 {
 }
 
 // Solve determines satisfiability under the given assumption literals.
-// It returns (true, nil) if satisfiable, (false, nil) if unsatisfiable,
-// and (false, ErrBudget) if the conflict budget ran out.
+// Assumptions are enqueued as pseudo-decisions below all search
+// decisions, so learnt clauses and variable activity carry over to
+// later Solve calls, and clauses may be added between calls. It
+// returns (true, nil) if satisfiable, (false, nil) if unsatisfiable
+// (see Core for the responsible assumption subset), and
+// (false, ErrBudget) if the per-call conflict budget ran out.
 func (s *Solver) Solve(assumptions ...Lit) (bool, error) {
-	if !s.ok {
-		return false, nil
-	}
-	s.backtrack(0)
-	restart := int64(0)
-	baseConflicts := s.conflicts
-	learntCap := len(s.clauses)/3 + 100
-
-	for {
-		restart++
-		budget := 100 * luby(restart)
-		res, done := s.search(budget, assumptions, &learntCap)
-		if done {
-			s.backtrack(0)
-			return res, nil
-		}
-		if s.maxConflicts > 0 && s.conflicts-baseConflicts > s.maxConflicts {
-			s.backtrack(0)
-			return false, ErrBudget
-		}
-	}
+	ok, _, err := s.solve(false, assumptions)
+	return ok, err
 }
 
 // search runs CDCL for up to maxConfl conflicts. done=false means the
@@ -644,7 +685,10 @@ func (s *Solver) search(maxConfl int64, assumptions []Lit, learntCap *int) (sat 
 				s.trailLim = append(s.trailLim, len(s.trail))
 				continue
 			case lFalse:
-				return false, true // conflict with assumption
+				// conflict with assumption: final-conflict analysis
+				// yields the failed-assumption core
+				s.core = s.analyzeFinal(p)
+				return false, true
 			}
 			next = p
 			break
@@ -682,8 +726,15 @@ func (s *Solver) Model() []bool {
 // SolveModel is a convenience wrapper: it solves and, when satisfiable,
 // returns the model before backtracking state is disturbed.
 func (s *Solver) SolveModel(assumptions ...Lit) (bool, []bool, error) {
-	// search() returns with the full assignment still on the trail only
-	// when SAT; capture model inside a custom run.
+	return s.solve(true, assumptions)
+}
+
+// solve is the shared CDCL driver behind Solve and SolveModel. search()
+// returns with the full assignment still on the trail only when SAT, so
+// the model (when requested) is captured before backtracking to root.
+func (s *Solver) solve(wantModel bool, assumptions []Lit) (bool, []bool, error) {
+	s.solves++
+	s.core = nil
 	if !s.ok {
 		return false, nil, nil
 	}
@@ -697,7 +748,7 @@ func (s *Solver) SolveModel(assumptions ...Lit) (bool, []bool, error) {
 		res, done := s.search(budget, assumptions, &learntCap)
 		if done {
 			var m []bool
-			if res {
+			if res && wantModel {
 				m = s.Model()
 			}
 			s.backtrack(0)
