@@ -1,13 +1,18 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI stay identical.
 GO ?= go
 
-.PHONY: build test bench lint ci
+.PHONY: build test service-smoke bench lint ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# service-smoke drives the fvevald HTTP service end to end under
+# httptest (registry listing, submit, stream, poll, cancel).
+service-smoke:
+	$(GO) test -race -v -count=1 ./cmd/fvevald
 
 # bench regenerates every table/figure once and refreshes the
 # BENCH_tables.json perf-trajectory artifact (benchmark -> ns/op, with
@@ -27,4 +32,4 @@ lint:
 	fi
 	$(GO) vet ./...
 
-ci: build lint test bench
+ci: build lint test service-smoke bench

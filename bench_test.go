@@ -10,6 +10,7 @@ package fveval
 // and see EXPERIMENTS.md for paper-vs-measured values.
 
 import (
+	"context"
 	"testing"
 
 	"fveval/internal/core"
@@ -147,7 +148,7 @@ func BenchmarkFigure6BLEUCorrelation(b *testing.B) {
 		llm.ModelByName("llama-3.1-70b"),
 	}
 	for i := 0; i < b.N; i++ {
-		out, err := engine.New(engine.Config{}).Figure6(models)
+		out, err := engine.New(engine.Config{}).Figure6(context.Background(), models, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -21,6 +21,8 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+
+	"fveval/internal/task"
 )
 
 // File is the BENCH_tables.json schema.
@@ -29,9 +31,39 @@ type File struct {
 	// NsPerOp maps benchmark name to nanoseconds per iteration for
 	// this run.
 	NsPerOp map[string]int64 `json:"ns_per_op"`
+	// Tasks maps each table/figure benchmark onto the registry task
+	// that regenerates the same artifact (fveval -task <name>), so the
+	// perf trajectory is navigable from the task registry.
+	Tasks map[string]string `json:"tasks,omitempty"`
 	// BaselineNsPerOp carries the previous artifact's NsPerOp so the
 	// file itself records the before/after pair.
 	BaselineNsPerOp map[string]int64 `json:"baseline_ns_per_op,omitempty"`
+}
+
+// artifactName extracts the paper-artifact prefix of a benchmark name
+// ("Table2HumanPassK" -> table 2) and resolves the registry task that
+// reproduces it.
+var artifactName = regexp.MustCompile(`^(Table|Figure)(\d+)`)
+
+func taskFor(bench string) (string, bool) {
+	m := artifactName.FindStringSubmatch(bench)
+	if m == nil {
+		return "", false
+	}
+	n, err := strconv.Atoi(m[2])
+	if err != nil {
+		return "", false
+	}
+	var spec *task.Spec
+	if m[1] == "Table" {
+		spec, err = task.ByTable(n)
+	} else {
+		spec, err = task.ByFigure(n)
+	}
+	if err != nil {
+		return "", false
+	}
+	return spec.Name, true
 }
 
 // benchLine matches e.g. "BenchmarkTable2HumanPassK-8   3   53136316 ns/op".
@@ -41,7 +73,7 @@ func main() {
 	prev := flag.String("prev", "", "previous BENCH_tables.json whose ns_per_op becomes this artifact's baseline")
 	flag.Parse()
 
-	out := File{Schema: "fveval-bench/v1", NsPerOp: map[string]int64{}}
+	out := File{Schema: "fveval-bench/v2", NsPerOp: map[string]int64{}, Tasks: map[string]string{}}
 	if *prev != "" {
 		if data, err := os.ReadFile(*prev); err == nil {
 			var old File
@@ -63,6 +95,9 @@ func main() {
 			continue
 		}
 		out.NsPerOp[m[1]] = int64(ns)
+		if name, ok := taskFor(m[1]); ok {
+			out.Tasks[m[1]] = name
+		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

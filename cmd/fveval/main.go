@@ -1,14 +1,18 @@
 // Command fveval runs the FVEval benchmark end to end: every table and
-// figure of the paper regenerates from one invocation. All runs share
-// one evaluation engine, so duplicate formal equivalence checks are
+// figure of the paper regenerates from one invocation, and any entry
+// of the task registry can be run by name. All runs share one
+// evaluation engine, so duplicate formal equivalence checks are
 // solved once per process.
 //
 // Usage:
 //
-//	fveval -table 1          # NL2SVA-Human greedy (Table 1)
+//	fveval -list                  # show the task registry
+//	fveval -task nl2sva-human     # run a task by registry name
+//	fveval -task design2sva -json # emit the unified run JSON
+//	fveval -table 1               # registry task for Table 1
 //	fveval -table 3 -count 300
 //	fveval -figure 6
-//	fveval -all -limit 20    # everything, truncated for a quick look
+//	fveval -all -limit 20         # everything, truncated for a quick look
 //	fveval -table 4 -workers 8 -shard 0/4   # first of four horizontal shards
 //	fveval -table 2 -cache=false            # disable the equivalence memo
 //	fveval -table 2 -maxbound 12            # cap the formal bound ramp
@@ -18,23 +22,27 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"fveval/internal/core"
 	"fveval/internal/engine"
-	"fveval/internal/llm"
+	"fveval/internal/task"
 )
 
 func main() {
+	taskName := flag.String("task", "", "registry task to run (see -list)")
+	list := flag.Bool("list", false, "list the task registry and exit")
+	jsonOut := flag.Bool("json", false, "emit the unified run JSON instead of the rendered table")
 	table := flag.Int("table", 0, "table number to regenerate (1-6)")
 	figure := flag.Int("figure", 0, "figure number to regenerate (2, 3, 4, 6)")
 	all := flag.Bool("all", false, "run every table and figure")
 	limit := flag.Int("limit", 0, "truncate instance lists (0 = full size)")
-	count := flag.Int("count", 300, "NL2SVA-Machine dataset size")
+	count := flag.Int("count", 0, "NL2SVA-Machine dataset size (0 = task default, 300)")
 	samples := flag.Int("samples", 5, "samples per instance for pass@k runs")
 	workers := flag.Int("workers", 0, "evaluation parallelism (0 = GOMAXPROCS)")
 	shard := flag.String("shard", "", "evaluate one instance slice, as i/n (e.g. 0/4); combine n processes to cover a run")
@@ -43,12 +51,17 @@ func main() {
 	budget := flag.Int64("budget", 0, "SAT conflict budget per formal query (0 = default 200000)")
 	flag.Parse()
 
+	if *list {
+		printRegistry()
+		return
+	}
+
 	shardSpec, err := parseShard(*shard)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fveval:", err)
 		os.Exit(2)
 	}
-	eng := engine.New(engine.Config{
+	cfg := engine.Config{
 		Limit:    *limit,
 		Samples:  *samples,
 		Budget:   *budget,
@@ -56,8 +69,13 @@ func main() {
 		Workers:  *workers,
 		Shard:    shardSpec,
 		NoCache:  !*cache,
-	})
-	if err := run(eng, *table, *figure, *all, *count); err != nil {
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "fveval:", err)
+		os.Exit(2)
+	}
+	eng := task.NewEngine(cfg)
+	if err := run(eng, *taskName, *table, *figure, *all, *count, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "fveval:", err)
 		os.Exit(1)
 	}
@@ -66,6 +84,20 @@ func main() {
 	}
 	if fs := eng.FormalStats(); fs.Queries > 0 {
 		fmt.Fprintln(os.Stderr, fs)
+	}
+}
+
+func printRegistry() {
+	fmt.Printf("%-24s %-8s %-8s %s\n", "Task", "Paper", "Kind", "Title")
+	for _, s := range task.Tasks() {
+		paper := ""
+		switch {
+		case s.Table > 0:
+			paper = fmt.Sprintf("table %d", s.Table)
+		case s.Figure > 0:
+			paper = fmt.Sprintf("fig. %d", s.Figure)
+		}
+		fmt.Printf("%-24s %-8s %-8s %s\n", s.Name, paper, s.Kind, s.Title)
 	}
 }
 
@@ -90,110 +122,84 @@ func parseShard(s string) (engine.Shard, error) {
 	return sh, nil
 }
 
-func run(eng *engine.Engine, table, figure int, all bool, count int) error {
+func run(eng *task.Engine, taskName string, table, figure int, all bool, count int, jsonOut bool) error {
+	if taskName != "" {
+		return runTask(eng, taskName, count, jsonOut, true)
+	}
 	if all {
+		// In -all mode -count applies only to the tasks that take it.
 		for _, t := range []int{6, 1, 2, 3, 4, 5} {
-			if err := runTable(eng, t, count); err != nil {
+			spec, err := task.ByTable(t)
+			if err != nil {
+				return err
+			}
+			if err := runTask(eng, spec.Name, count, jsonOut, false); err != nil {
 				return err
 			}
 		}
 		for _, f := range []int{2, 3, 4, 6} {
-			if err := runFigure(eng, f, count); err != nil {
+			spec, err := task.ByFigure(f)
+			if err != nil {
+				return err
+			}
+			if err := runTask(eng, spec.Name, count, jsonOut, false); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	if table > 0 {
-		return runTable(eng, table, count)
+		spec, err := task.ByTable(table)
+		if err != nil {
+			return err
+		}
+		return runTask(eng, spec.Name, count, jsonOut, true)
 	}
 	if figure > 0 {
-		return runFigure(eng, figure, count)
+		spec, err := task.ByFigure(figure)
+		if err != nil {
+			return err
+		}
+		return runTask(eng, spec.Name, count, jsonOut, true)
 	}
 	flag.Usage()
 	return nil
 }
 
-func runTable(eng *engine.Engine, table, count int) error {
-	switch table {
-	case 1:
-		reports, err := eng.NL2SVAHuman(llm.Models())
-		if err != nil {
-			return err
-		}
-		fmt.Println(core.FormatTable1(reports))
-	case 2:
-		models := pick("gpt-4o", "gemini-1.5-flash", "llama-3.1-70b")
-		reports, err := eng.NL2SVAHumanPassK(models, []int{1, 3, 5})
-		if err != nil {
-			return err
-		}
-		fmt.Println(core.FormatTable2(reports))
-	case 3:
-		zero, err := eng.NL2SVAMachine(llm.Models(), 0, count)
-		if err != nil {
-			return err
-		}
-		three, err := eng.NL2SVAMachine(llm.Models(), 3, count)
-		if err != nil {
-			return err
-		}
-		fmt.Println(core.FormatTable3(zero, three))
-	case 4:
-		models := pick("gpt-4o", "gemini-1.5-flash", "llama-3.1-70b")
-		reports, err := eng.NL2SVAMachinePassK(models, []int{1, 3, 5}, count)
-		if err != nil {
-			return err
-		}
-		fmt.Println(core.FormatTable4(reports))
-	case 5:
-		pipe, err := eng.Design2SVA(llm.DesignModels(), "pipeline")
-		if err != nil {
-			return err
-		}
-		fsm, err := eng.Design2SVA(llm.DesignModels(), "fsm")
-		if err != nil {
-			return err
-		}
-		fmt.Println(core.FormatTable5(pipe, fsm))
-	case 6:
-		fmt.Println(core.FormatTable6())
-	default:
-		return fmt.Errorf("unknown table %d", table)
+// runTask executes one registry task on the shared engine and prints
+// either the paper-layout rendering or the unified run JSON. When the
+// task was named explicitly, an inapplicable -count is an error (the
+// registry contract: unaccepted overrides are rejected, not ignored).
+func runTask(eng *task.Engine, name string, count int, jsonOut, explicit bool) error {
+	spec, err := task.Lookup(name)
+	if err != nil {
+		return err
 	}
+	acceptsCount := false
+	for _, f := range spec.Accepts {
+		if f == "count" {
+			acceptsCount = true
+		}
+	}
+	var p task.Params
+	if count > 0 {
+		if !acceptsCount {
+			if explicit {
+				return fmt.Errorf("task %s does not accept -count", spec.Name)
+			}
+		} else {
+			p.Count = count
+		}
+	}
+	run, err := eng.Run(context.Background(), task.Request{Task: spec.Name, Params: p})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(run)
+	}
+	fmt.Println(run.Report.Render())
 	return nil
-}
-
-func runFigure(eng *engine.Engine, figure, count int) error {
-	switch figure {
-	case 2:
-		s, err := core.Figure2()
-		if err != nil {
-			return err
-		}
-		fmt.Println(s)
-	case 3:
-		fmt.Println(core.Figure3(count))
-	case 4:
-		fmt.Println(core.Figure4())
-	case 6:
-		s, err := eng.Figure6(pick("gpt-4o", "llama-3.1-70b"))
-		if err != nil {
-			return err
-		}
-		fmt.Println(s)
-	default:
-		return fmt.Errorf("unknown figure %d", figure)
-	}
-	return nil
-}
-
-func pick(names ...string) []llm.Model {
-	var out []llm.Model
-	for _, n := range names {
-		if m := llm.ModelByName(n); m != nil {
-			out = append(out, m)
-		}
-	}
-	return out
 }

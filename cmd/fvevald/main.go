@@ -1,0 +1,54 @@
+// Command fvevald serves the FVEval task registry over HTTP: one
+// long-lived evaluation engine backs every request, so the
+// equivalence cache and judgment memos accumulate across runs and
+// duplicate formal queries are solved once per process lifetime.
+//
+// Endpoints:
+//
+//	GET    /v1/tasks            registry listing (specs with defaults)
+//	POST   /v1/runs             submit a task.Request; returns {id}
+//	GET    /v1/runs             list submitted runs
+//	GET    /v1/runs/{id}        poll status; terminal states carry the full Run
+//	GET    /v1/runs/{id}/events stream progress (NDJSON; SSE with Accept: text/event-stream)
+//	DELETE /v1/runs/{id}        cancel a running evaluation
+//
+// Quick start:
+//
+//	fvevald -addr :8080 &
+//	curl localhost:8080/v1/tasks
+//	curl -X POST localhost:8080/v1/runs -d '{"task":"nl2sva-human","options":{"limit":10}}'
+//	curl localhost:8080/v1/runs/run-0001
+//	curl -N localhost:8080/v1/runs/run-0001/events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"fveval/internal/engine"
+	"fveval/internal/task"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "default evaluation parallelism (0 = GOMAXPROCS)")
+	cache := flag.Bool("cache", true, "memoize formal equivalence checks across runs")
+	budget := flag.Int64("budget", 0, "SAT conflict budget per formal query (0 = default 200000)")
+	maxBound := flag.Int("maxbound", 0, "cap for the formal backend's bound ramp (0 = defaults)")
+	flag.Parse()
+
+	cfg := engine.Config{
+		Workers:  *workers,
+		Budget:   *budget,
+		MaxBound: *maxBound,
+		NoCache:  !*cache,
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("fvevald: %v", err)
+	}
+	srv := newServer(task.NewEngine(cfg))
+	fmt.Printf("fvevald: serving %d tasks on %s\n", len(task.Tasks()), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fveval/internal/engine"
+	"fveval/internal/task"
+)
+
+// TestServiceEndToEnd is the smoke flow CI exercises: list the
+// registry, submit a small run, stream its progress, poll it to
+// completion, and check the returned unified report renders the
+// paper table.
+func TestServiceEndToEnd(t *testing.T) {
+	srv := httptest.NewServer(newServer(task.NewEngine(engine.Config{Workers: 2})))
+	defer srv.Close()
+
+	// 1. Registry listing.
+	var tasks struct {
+		Tasks []task.Spec `json:"tasks"`
+	}
+	getJSON(t, srv.URL+"/v1/tasks", &tasks)
+	if len(tasks.Tasks) < 10 {
+		t.Fatalf("registry listing too small: %d", len(tasks.Tasks))
+	}
+	found := false
+	for _, s := range tasks.Tasks {
+		if s.Name == "nl2sva-human" && s.Table == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("nl2sva-human missing from listing")
+	}
+
+	// 2. Submit a small run.
+	body := `{"task":"nl2sva-human","params":{"models":["gpt-4o"]},"options":{"limit":6}}`
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct{ ID, Status string }
+	decodeBody(t, resp, &submitted)
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, submitted.ID)
+	}
+
+	// 3. Stream progress events (NDJSON): expect one line per job plus
+	// a terminal status line.
+	streamResp, err := http.Get(srv.URL + "/v1/runs/" + submitted.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	if ct := streamResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var events []task.Event
+	var terminal string
+	sc := bufio.NewScanner(streamResp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe map[string]any
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if st, ok := probe["status"].(string); ok {
+			terminal = st
+			break
+		}
+		var ev task.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if terminal != statusDone {
+		t.Fatalf("stream ended with %q, want %q", terminal, statusDone)
+	}
+	if len(events) != 6 {
+		t.Fatalf("streamed %d events, want 6", len(events))
+	}
+	for i, ev := range events {
+		if ev.Task != "nl2sva-human" || ev.Done != i+1 || ev.Total != 6 {
+			t.Fatalf("event %d malformed: %+v", i, ev)
+		}
+	}
+
+	// 4. Poll the finished run; the unified report must render Table 1.
+	var view struct {
+		ID, Status string
+		Run        *task.Run
+	}
+	getJSON(t, srv.URL+"/v1/runs/"+submitted.ID, &view)
+	if view.Status != statusDone || view.Run == nil {
+		t.Fatalf("poll: %+v", view)
+	}
+	table := view.Run.Report.Render()
+	if !strings.HasPrefix(table, "Table 1:") || !strings.Contains(table, "gpt-4o") {
+		t.Fatalf("rendered report malformed:\n%s", table)
+	}
+	if view.Run.Stats.Jobs != 6 {
+		t.Fatalf("run stats jobs %d, want 6", view.Run.Stats.Jobs)
+	}
+
+	// 5. The run list includes it.
+	var list struct {
+		Runs []struct{ ID, Status string }
+	}
+	getJSON(t, srv.URL+"/v1/runs", &list)
+	if len(list.Runs) != 1 || list.Runs[0].ID != submitted.ID {
+		t.Fatalf("run list malformed: %+v", list)
+	}
+}
+
+// TestServiceValidationAndErrors checks the 400/404 surfaces.
+func TestServiceValidationAndErrors(t *testing.T) {
+	srv := httptest.NewServer(newServer(task.NewEngine(engine.Config{})))
+	defer srv.Close()
+
+	bad := []string{
+		`{"task":"no-such-task"}`,
+		`{"task":"nl2sva-human","params":{"kinds":["fsm"]}}`,
+		`{"task":"nl2sva-human","options":{"limit":-1}}`,
+		`{"task":"nl2sva-human","unknown_field":1}`,
+		`{not json`,
+	}
+	for _, body := range bad {
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/runs/run-9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServiceCancel submits a larger run, cancels it, and polls until
+// it lands in the cancelled state.
+func TestServiceCancel(t *testing.T) {
+	srv := httptest.NewServer(newServer(task.NewEngine(engine.Config{Workers: 1})))
+	defer srv.Close()
+
+	body := `{"task":"nl2sva-human-passk","params":{"models":["gpt-4o","llama-3.1-70b"]},"options":{"samples":5,"workers":1}}`
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct{ ID string }
+	decodeBody(t, resp, &submitted)
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/runs/"+submitted.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", cresp.StatusCode)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var view struct{ Status string }
+		getJSON(t, srv.URL+"/v1/runs/"+submitted.ID, &view)
+		if view.Status != statusRunning {
+			// A fast machine may finish the run before the cancel
+			// lands; both terminal states are acceptable, but hanging
+			// in "running" is not.
+			if view.Status != statusCancelled && view.Status != statusDone {
+				t.Fatalf("unexpected terminal status %q", view.Status)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never left the running state after cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServiceSSEFraming checks the Accept-negotiated SSE framing.
+func TestServiceSSEFraming(t *testing.T) {
+	srv := httptest.NewServer(newServer(task.NewEngine(engine.Config{})))
+	defer srv.Close()
+
+	body := `{"task":"dataset-stats"}`
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct{ ID string }
+	decodeBody(t, resp, &submitted)
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/runs/"+submitted.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(sresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "event: end") {
+		t.Fatalf("SSE stream missing end event:\n%s", buf.String())
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, v)
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,321 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"fveval/internal/task"
+)
+
+// Run lifecycle states.
+const (
+	statusRunning   = "running"
+	statusDone      = "done"
+	statusError     = "error"
+	statusCancelled = "cancelled"
+)
+
+// runState tracks one submitted run: its request, its lifecycle, the
+// buffered progress events (replayed to late stream subscribers), and
+// the final result.
+type runState struct {
+	id     string
+	req    task.Request
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	status string
+	events []task.Event
+	// notify is closed (and, while running, replaced) whenever events
+	// or status change, waking every waiting stream handler.
+	notify chan struct{}
+	result *task.Run
+	errMsg string
+}
+
+// publish appends one progress event and wakes streamers. It is the
+// run's task.Request.Progress callback, so calls arrive serialized
+// from the run's collector goroutine.
+func (rs *runState) publish(ev task.Event) {
+	rs.mu.Lock()
+	rs.events = append(rs.events, ev)
+	close(rs.notify)
+	rs.notify = make(chan struct{})
+	rs.mu.Unlock()
+}
+
+// finish records the run's terminal state and wakes streamers one
+// last time (without replacing notify: the channel stays closed, so
+// any later subscriber proceeds immediately and sees the final
+// status).
+func (rs *runState) finish(res *task.Run, err error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	switch {
+	case err == nil:
+		rs.status = statusDone
+		rs.result = res
+	case errors.Is(err, context.Canceled):
+		rs.status = statusCancelled
+		rs.errMsg = err.Error()
+	default:
+		rs.status = statusError
+		rs.errMsg = err.Error()
+	}
+	close(rs.notify)
+}
+
+// maxRetainedRuns bounds how many runs the server keeps: beyond it,
+// the oldest terminal runs (with their buffered events and results)
+// are evicted so a long-lived server does not grow without bound.
+// Running evaluations are never evicted.
+const maxRetainedRuns = 64
+
+// server is the fvevald HTTP front-end: one shared task engine serves
+// every request, so the equivalence cache and judgment memos are
+// reused across runs.
+type server struct {
+	eng  *task.Engine
+	mux  *http.ServeMux
+	mu   sync.Mutex
+	seq  int
+	runs map[string]*runState
+	// order lists run ids oldest-first for eviction.
+	order []string
+}
+
+func newServer(eng *task.Engine) *server {
+	s := &server{eng: eng, mux: http.NewServeMux(), runs: map[string]*runState{}}
+	s.mux.HandleFunc("GET /v1/tasks", s.handleTasks)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// handleTasks lists the registry: GET /v1/tasks.
+func (s *server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tasks": task.Tasks()})
+}
+
+// handleSubmit starts a run: POST /v1/runs with a task.Request body.
+// The request is validated synchronously (400 on a bad task name,
+// parameter, or option) and evaluated asynchronously; poll
+// GET /v1/runs/{id} or stream GET /v1/runs/{id}/events.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req task.Request
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rs := &runState{
+		req: req, cancel: cancel,
+		status: statusRunning,
+		notify: make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.seq++
+	rs.id = fmt.Sprintf("run-%04d", s.seq)
+	s.runs[rs.id] = rs
+	s.order = append(s.order, rs.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	req.Progress = rs.publish
+	go func() {
+		defer cancel()
+		res, err := s.eng.Run(ctx, req)
+		rs.finish(res, err)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": rs.id, "status": statusRunning})
+}
+
+// evictLocked drops the oldest terminal runs beyond maxRetainedRuns;
+// the caller holds s.mu (taking each run's mutex under it matches the
+// lock order used by handleList).
+func (s *server) evictLocked() {
+	excess := len(s.order) - maxRetainedRuns
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		rs := s.runs[id]
+		rs.mu.Lock()
+		terminal := rs.status != statusRunning
+		rs.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(s.runs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *runState {
+	s.mu.Lock()
+	rs := s.runs[r.PathValue("id")]
+	s.mu.Unlock()
+	if rs == nil {
+		writeError(w, http.StatusNotFound, "unknown run "+r.PathValue("id"))
+	}
+	return rs
+}
+
+// runView is the poll shape: GET /v1/runs/{id}.
+type runView struct {
+	ID     string      `json:"id"`
+	Status string      `json:"status"`
+	Task   string      `json:"task"`
+	Events int         `json:"events"`
+	Error  string      `json:"error,omitempty"`
+	Run    *task.Run   `json:"run,omitempty"`
+	Last   *task.Event `json:"last_event,omitempty"`
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rs := s.lookup(w, r)
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	v := runView{
+		ID: rs.id, Status: rs.status, Task: rs.req.Task,
+		Events: len(rs.events), Error: rs.errMsg, Run: rs.result,
+	}
+	if n := len(rs.events); n > 0 {
+		last := rs.events[n-1]
+		v.Last = &last
+	}
+	rs.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]runView, 0, len(s.runs))
+	for _, rs := range s.runs {
+		rs.mu.Lock()
+		views = append(views, runView{ID: rs.id, Status: rs.status, Task: rs.req.Task, Events: len(rs.events)})
+		rs.mu.Unlock()
+	}
+	s.mu.Unlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"runs": views})
+}
+
+// handleCancel aborts a run: DELETE /v1/runs/{id}. The run reaches
+// the "cancelled" state once in-flight jobs drain.
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rs := s.lookup(w, r)
+	if rs == nil {
+		return
+	}
+	rs.cancel()
+	rs.mu.Lock()
+	status := rs.status
+	rs.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"id": rs.id, "status": status})
+}
+
+// handleEvents streams progress: GET /v1/runs/{id}/events. Buffered
+// events replay first, then live events follow as they happen, until
+// the run reaches a terminal state or the client disconnects. The
+// default framing is NDJSON (one task.Event per line, then a final
+// {"status": ...} line); clients sending Accept: text/event-stream
+// get SSE framing ("progress" events, then one "end" event).
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rs := s.lookup(w, r)
+	if rs == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sse := r.Header.Get("Accept") == "text/event-stream"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	write := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		} else {
+			fmt.Fprintf(w, "%s\n", data)
+		}
+	}
+
+	sent := 0
+	for {
+		rs.mu.Lock()
+		pending := rs.events[sent:]
+		sent = len(rs.events)
+		status := rs.status
+		errMsg := rs.errMsg
+		notify := rs.notify
+		rs.mu.Unlock()
+
+		for _, ev := range pending {
+			write("progress", ev)
+		}
+		if len(pending) > 0 {
+			flusher.Flush()
+		}
+		if status != statusRunning {
+			end := map[string]string{"status": status}
+			if errMsg != "" {
+				end["error"] = errMsg
+			}
+			write("end", end)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

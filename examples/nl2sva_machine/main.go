@@ -1,9 +1,11 @@
 // NL2SVA-Machine: show the synthetic data generation pipeline (random
 // assertion -> naturalized description -> critic validation) and run a
-// model through the 0-shot vs 3-shot comparison behind Table 3.
+// model through the 0-shot vs 3-shot comparison behind Table 3 via the
+// task registry.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,15 +21,15 @@ func main() {
 		fmt.Printf("  Reference: %s\n\n", inst.Reference)
 	}
 
-	models := []fveval.Model{fveval.ModelByName("gemini-1.5-pro")}
-	zero, err := fveval.RunNL2SVAMachine(models, 0, 60, fveval.Options{})
+	// The nl2sva-machine task evaluates every requested shot setting in
+	// one run; its report renders the paper's Table 3 comparison.
+	run, err := fveval.Run(context.Background(), fveval.Request{
+		Task:   "nl2sva-machine",
+		Params: fveval.Params{Models: []string{"gemini-1.5-pro"}, Count: 60},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	three, err := fveval.RunNL2SVAMachine(models, 3, 60, fveval.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(fveval.FormatTable3(zero, three))
+	fmt.Println(run.Report.Render())
 	fmt.Println("(note the in-context-learning gain, most dramatic for gemini-1.5-pro as in the paper)")
 }

@@ -1,8 +1,10 @@
-// Quickstart: evaluate two models on a slice of NL2SVA-Human and print
-// the Table-1-style report plus the dataset composition.
+// Quickstart: list the task registry, run NL2SVA-Human on a slice of
+// the fleet through the single Run entry point, stream per-job
+// progress, and print the Table-1-style report.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,21 +12,34 @@ import (
 )
 
 func main() {
-	models := []fveval.Model{
-		fveval.ModelByName("gpt-4o"),
-		fveval.ModelByName("llama-3.1-70b"),
+	fmt.Println("=== registered tasks ===")
+	for _, t := range fveval.Tasks() {
+		fmt.Printf("%-24s %s\n", t.Name, t.Title)
 	}
-	reports, err := fveval.RunNL2SVAHuman(models, fveval.Options{Limit: 20})
+	fmt.Println()
+
+	run, err := fveval.Run(context.Background(), fveval.Request{
+		Task:    "nl2sva-human",
+		Params:  fveval.Params{Models: []string{"gpt-4o", "llama-3.1-70b"}},
+		Options: fveval.Options{Limit: 20},
+		Progress: func(ev fveval.Event) {
+			if ev.Done == ev.Total {
+				fmt.Printf("evaluated %d jobs\n\n", ev.Total)
+			}
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(fveval.FormatTable6())
-	fmt.Println(fveval.FormatTable1(reports))
+	fmt.Println(run.Report.Render())
 
-	// Inspect one judged response end to end.
-	r := reports[0]
-	for _, o := range r.Outcomes[:3] {
+	// Inspect one judged response end to end: the unified report keeps
+	// the per-instance outcomes of greedy tasks.
+	for _, o := range run.Report.Groups[0].Rows[0].Outcomes[:3] {
 		fmt.Printf("instance %s: syntax=%v func=%v partial=%v bleu=%.3f\n",
 			o.InstanceID, o.Syntax, o.Full, o.Partial, o.BLEU)
 	}
+	fmt.Printf("\nrun metadata: %d jobs in %d ms; %s\n",
+		run.Stats.Jobs, run.Stats.WallMS, run.Stats.Cache)
 }

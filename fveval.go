@@ -4,27 +4,37 @@
 // "FVEval: Understanding Language Model Capabilities in Formal
 // Verification of Digital Hardware" (Kang et al., DATE 2025).
 //
-// The facade re-exports the user-facing surface of the internal
-// packages:
+// The API is task-centric: every sub-benchmark (each paper table and
+// figure) is a named entry in a task registry, and one entry point
+// runs any of them:
 //
-//   - the three sub-benchmarks and their runners (NL2SVA-Human,
-//     NL2SVA-Machine, Design2SVA), executed by the unified evaluation
-//     engine (flattened job queue, bounded worker pool, run-wide
-//     equivalence-check cache — see NewEngine for multi-run reuse),
-//   - the formal backend (SVA parsing/validation, assertion
-//     equivalence checking, RTL elaboration and model checking), which
-//     solves incrementally: one assumption-based CDCL session per
-//     query with bound ramping (see Options.MaxBound and FormalStats),
-//   - the model layer (prompt construction, proxy model fleet), and
-//   - the metric set (BLEU, pass@k, token-length statistics).
+//	for _, t := range fveval.Tasks() {
+//		fmt.Println(t.Name, "—", t.Title)
+//	}
+//	run, err := fveval.Run(ctx, fveval.Request{
+//		Task:    "nl2sva-human",
+//		Params:  fveval.Params{Models: []string{"gpt-4o"}},
+//		Options: fveval.Options{Limit: 20},
+//	})
+//	fmt.Print(run.Report.Render())
 //
-// Quick start:
+// A Run returns one unified Report (JSON round-trippable; the legacy
+// per-table report types project out of it), streams per-job progress
+// through Request.Progress, honors context cancellation, and carries
+// run metadata (cache and formal-backend statistics, wall-clock).
+// Reuse one Engine across runs — or serve it over HTTP with
+// cmd/fvevald — to share the equivalence-check cache between them.
 //
-//	reports, err := fveval.RunNL2SVAHuman(fveval.Models(), fveval.Options{})
-//	fmt.Print(fveval.FormatTable1(reports))
+// Underneath, the registry drives the unified evaluation engine
+// (flattened job queue, bounded worker pool, run-wide memo pool) and
+// the incremental formal backend (assumption-based CDCL sessions with
+// bound ramping; see Options.MaxBound and FormalStats).
 package fveval
 
 import (
+	"context"
+	"fmt"
+
 	"fveval/internal/core"
 	"fveval/internal/engine"
 	"fveval/internal/equiv"
@@ -32,19 +42,45 @@ import (
 	"fveval/internal/llm"
 	"fveval/internal/metrics"
 	"fveval/internal/sva"
+	"fveval/internal/task"
 )
 
-// Options tunes a benchmark run. See engine.Config.
+// Options tunes a benchmark run. See engine.Config; Validate rejects
+// malformed values (negative sizes or budgets) instead of clamping.
 type Options = engine.Config
-
-// Engine executes benchmark runs over one flattened
-// (model, instance, sample) job queue with a bounded worker pool and a
-// run-wide equivalence-check cache. See engine.Engine.
-type Engine = engine.Engine
 
 // Shard restricts a process to one horizontal slice of the instance
 // axis for multi-process runs.
 type Shard = engine.Shard
+
+// TaskSpec describes one registry task: name, paper table/figure,
+// default parameters, and which parameters it accepts.
+type TaskSpec = task.Spec
+
+// Params are a task's tunable knobs (model set, shot counts, pass@k
+// cut-offs, dataset size, design categories).
+type Params = task.Params
+
+// Request names one registry task plus parameter overrides, engine
+// options, and an optional progress callback.
+type Request = task.Request
+
+// Event is one streamed per-job progress notification.
+type Event = task.Event
+
+// Report is the unified result type every task produces; the legacy
+// ModelReport/PassKReport/DesignReport shapes project out of its rows
+// and Render reproduces the paper table or figure.
+type Report = task.Report
+
+// Result is a completed run: the unified Report, the resolved
+// request echo, and execution metadata.
+type Result = task.Run
+
+// Engine executes registry tasks over one shared memo pool
+// (equivalence cache, judgment memos, formal counters); reuse one
+// engine across runs to share the pool.
+type Engine = task.Engine
 
 // CacheStats reports equivalence-cache hit/miss counters for a run.
 type CacheStats = equiv.CacheStats
@@ -56,9 +92,25 @@ type CacheStats = equiv.CacheStats
 // are decided at small bounds while proofs reuse all learnt clauses.
 type FormalStats = formal.Snapshot
 
-// NewEngine builds an evaluation engine; reuse one engine across runs
-// to share its equivalence cache.
-func NewEngine(opt Options) *Engine { return engine.New(opt) }
+// Tasks lists the registry: one spec per sub-benchmark, covering
+// every paper table and figure.
+func Tasks() []TaskSpec { return task.Tasks() }
+
+// NewEngine builds an evaluation engine whose default configuration
+// is opt; reuse one engine across runs to share its memo pool. Like
+// the underlying engine it panics on invalid options — callers
+// holding untrusted configuration should opt.Validate() first.
+func NewEngine(opt Options) *Engine { return task.NewEngine(opt) }
+
+// Run executes one registry task on a fresh engine. For repeated or
+// served runs build one Engine and call its Run method instead, so
+// the equivalence cache carries across runs.
+func Run(ctx context.Context, req Request) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return task.NewEngine(Options{}).Run(ctx, req)
+}
 
 // ModelReport aggregates one model's metrics on one task.
 type ModelReport = core.ModelReport
@@ -93,29 +145,125 @@ func DesignModels() []Model { return llm.DesignModels() }
 // ModelByName finds a proxy model.
 func ModelByName(name string) Model { return llm.ModelByName(name) }
 
+// ---- deprecated per-table entry points ----------------------------------
+//
+// The Run* functions below are thin wrappers over the task registry,
+// kept for source compatibility. They accept only models from the
+// built-in proxy fleet (the registry resolves models by name).
+
+// fleetNames maps facade model values onto registry names.
+func fleetNames(models []Model) ([]string, error) {
+	out := make([]string, 0, len(models))
+	for _, m := range models {
+		if m == nil {
+			return nil, fmt.Errorf("fveval: nil model")
+		}
+		if llm.ModelByName(m.Name()) == nil {
+			return nil, fmt.Errorf("fveval: model %q is not in the proxy fleet; use Engine.Run with a registry task instead", m.Name())
+		}
+		out = append(out, m.Name())
+	}
+	return out, nil
+}
+
+// runTask executes one registry request on a fresh engine.
+func runTask(req Request) (*Result, error) {
+	return Run(context.Background(), req)
+}
+
 // RunNL2SVAHuman runs Table 1's evaluation.
+//
+// Deprecated: use Run with the "nl2sva-human" task.
 func RunNL2SVAHuman(models []Model, opt Options) ([]ModelReport, error) {
-	return engine.RunNL2SVAHuman(models, opt)
+	names, err := fleetNames(models)
+	if err != nil {
+		return nil, err
+	}
+	run, err := runTask(Request{Task: "nl2sva-human", Params: Params{Models: names}, Options: opt})
+	if err != nil {
+		return nil, err
+	}
+	return run.Report.Group("").ModelReports(), nil
 }
 
 // RunNL2SVAHumanPassK runs Table 2's evaluation.
+//
+// Deprecated: use Run with the "nl2sva-human-passk" task.
 func RunNL2SVAHumanPassK(models []Model, ks []int, opt Options) ([]PassKReport, error) {
-	return engine.RunNL2SVAHumanPassK(models, ks, opt)
+	names, err := fleetNames(models)
+	if err != nil {
+		return nil, err
+	}
+	run, err := runTask(Request{Task: "nl2sva-human-passk", Params: Params{Models: names, Ks: ks}, Options: opt})
+	if err != nil {
+		return nil, err
+	}
+	return run.Report.Group("").PassKReports(), nil
 }
 
 // RunNL2SVAMachine runs one shot-setting of Table 3.
+//
+// Deprecated: use Run with the "nl2sva-machine" task (its default
+// parameters evaluate both shot settings in one run).
 func RunNL2SVAMachine(models []Model, shots, count int, opt Options) ([]ModelReport, error) {
-	return engine.RunNL2SVAMachine(models, shots, count, opt)
+	if count < 1 {
+		return nil, fmt.Errorf("fveval: count %d out of range (must be >= 1)", count)
+	}
+	names, err := fleetNames(models)
+	if err != nil {
+		return nil, err
+	}
+	run, err := runTask(Request{
+		Task:    "nl2sva-machine",
+		Params:  Params{Models: names, Shots: []int{shots}, Count: count},
+		Options: opt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run.Report.Groups[0].ModelReports(), nil
 }
 
 // RunNL2SVAMachinePassK runs Table 4's evaluation.
+//
+// Deprecated: use Run with the "nl2sva-machine-passk" task.
 func RunNL2SVAMachinePassK(models []Model, ks []int, count int, opt Options) ([]PassKReport, error) {
-	return engine.RunNL2SVAMachinePassK(models, ks, count, opt)
+	if count < 1 {
+		return nil, fmt.Errorf("fveval: count %d out of range (must be >= 1)", count)
+	}
+	names, err := fleetNames(models)
+	if err != nil {
+		return nil, err
+	}
+	run, err := runTask(Request{
+		Task:    "nl2sva-machine-passk",
+		Params:  Params{Models: names, Ks: ks, Count: count},
+		Options: opt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run.Report.Group("").PassKReports(), nil
 }
 
 // RunDesign2SVA runs one category half of Table 5.
+//
+// Deprecated: use Run with the "design2sva" task (its default
+// parameters evaluate both categories in one run).
 func RunDesign2SVA(models []Model, kind string, opt Options) ([]DesignReport, error) {
-	return engine.RunDesign2SVA(models, kind, opt)
+	names, err := fleetNames(models)
+	if err != nil {
+		return nil, err
+	}
+	run, err := runTask(Request{
+		Task:    "design2sva",
+		Params:  Params{Models: names, Kinds: []string{kind}},
+		Options: opt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run.Report.Group(kind).DesignReports(), nil
 }
 
 // Table and figure renderers.

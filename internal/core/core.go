@@ -26,12 +26,12 @@ import (
 
 // Outcome is the judged result of one response.
 type Outcome struct {
-	InstanceID string
-	Response   string
-	Syntax     bool
-	Full       bool // exact formal equivalence (or proven, for Design2SVA)
-	Partial    bool // one-directional equivalence (includes Full)
-	BLEU       float64
+	InstanceID string  `json:"instance"`
+	Response   string  `json:"response,omitempty"`
+	Syntax     bool    `json:"syntax,omitempty"`
+	Full       bool    `json:"func,omitempty"`    // exact formal equivalence (or proven, for Design2SVA)
+	Partial    bool    `json:"partial,omitempty"` // one-directional equivalence (includes Full)
+	BLEU       float64 `json:"bleu,omitempty"`
 }
 
 // ModelReport aggregates outcomes for one model on one task setting.

@@ -10,12 +10,22 @@
 // One engine owns one run-wide equiv.Cache: pass@k evaluation
 // re-checks many duplicate candidate/reference pairs across samples
 // and models, and memoizing equiv.Check collapses those repeated SAT
-// solves. Horizontal scaling across processes is supported by Shard,
-// which partitions the instance axis (never the sample axis, so
-// per-instance pass@k folds stay complete within a shard).
+// solves. Engines derived with Reconfigure share the same cache pool,
+// so a long-lived service can serve differently tuned requests while
+// still collapsing duplicate solves across them. Horizontal scaling
+// across processes is supported by Shard, which partitions the
+// instance axis (never the sample axis, so per-instance pass@k folds
+// stay complete within a shard).
+//
+// Every evaluation method takes a context.Context and an optional
+// Observer: cancelling the context stops feeding the worker pool and
+// the method returns ctx.Err(); the observer receives one Progress
+// per completed job, delivered from the collector goroutine (calls
+// are serialized, never concurrent).
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,8 +43,8 @@ import (
 // configured with {Index: i, Count: n} evaluates instances whose
 // position modulo n equals i. The zero value disables sharding.
 type Shard struct {
-	Index int
-	Count int
+	Index int `json:"index"`
+	Count int `json:"count"`
 }
 
 // Enabled reports whether the shard actually partitions work.
@@ -62,28 +72,52 @@ func (s Shard) String() string {
 type Config struct {
 	// Limit truncates the instance list (0 = all); tests use small
 	// limits, benches run full size. Applied before sharding.
-	Limit int
+	Limit int `json:"limit,omitempty"`
 	// Samples per instance for pass@k runs.
-	Samples int
+	Samples int `json:"samples,omitempty"`
 	// Budget caps SAT conflicts per query (0 = default 200000). With
 	// the incremental backend a query is one formal direction or one
 	// model-checking depth; the budget is a per-call delta inside the
 	// solver, so it keeps meaning "conflicts per query" across the
 	// ramp.
-	Budget int64
+	Budget int64 `json:"budget,omitempty"`
 	// MaxBound caps the lasso bound the equivalence ramp may grow to
 	// and the BMC falsification depth (0 = backend defaults, 16 each).
-	MaxBound int
+	MaxBound int `json:"max_bound,omitempty"`
 	// Workers bounds the evaluation pool (0 = GOMAXPROCS).
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// Shard restricts this process to one slice of the instance axis.
-	Shard Shard
+	Shard Shard `json:"shard,omitzero"`
 	// NoCache disables every run-wide memo (equivalence checks,
 	// translation judgments, design judgments). Verdicts are identical
 	// either way; the memos only skip duplicate solves.
-	NoCache bool
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
+// Validate rejects configurations that would silently misbehave:
+// every knob is a size or a budget, so negative values are always a
+// caller bug, not a request for a default.
+func (c Config) Validate() error {
+	if c.Limit < 0 {
+		return fmt.Errorf("engine: negative Limit %d", c.Limit)
+	}
+	if c.Samples < 0 {
+		return fmt.Errorf("engine: negative Samples %d", c.Samples)
+	}
+	if c.Budget < 0 {
+		return fmt.Errorf("engine: negative Budget %d", c.Budget)
+	}
+	if c.MaxBound < 0 {
+		return fmt.Errorf("engine: negative MaxBound %d", c.MaxBound)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("engine: negative Workers %d", c.Workers)
+	}
+	return c.Shard.Validate()
+}
+
+// withDefaults resolves the zero-value knobs; Validate has already
+// rejected negatives, so no clamping happens here.
 func (c Config) withDefaults() Config {
 	if c.Budget == 0 {
 		c.Budget = 200000
@@ -91,34 +125,68 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
-	if c.Workers < 1 {
-		c.Workers = 1
-	}
 	if c.Samples == 0 {
 		c.Samples = 1
 	}
 	return c
 }
 
-// Engine executes benchmark runs over one shared equivalence cache.
-type Engine struct {
-	cfg    Config
+// Progress describes one completed evaluation job.
+type Progress struct {
+	// Done jobs out of Total in this grid.
+	Done, Total int
+	// Model and Sample locate the job on the grid; InstanceID names
+	// the evaluated instance.
+	Model      string
+	InstanceID string
+	Sample     int
+	// Outcome is the job's judged result.
+	Outcome core.Outcome
+}
+
+// Observer receives per-job progress. Calls come from the run's
+// single collector goroutine, so implementations need no locking
+// against each other (but must not block for long — they gate result
+// collection).
+type Observer func(Progress)
+
+// state is the memo pool an engine family shares: the equivalence
+// cache, the judgment memos, and the formal backend counters. It is
+// split from Engine so Reconfigure can derive engines with different
+// run configurations that still collapse duplicate solves together.
+type state struct {
 	cache  *equiv.Cache
 	formal *formal.Stats // incremental-backend reuse counters (never nil)
 
 	// transMu guards transMemo, the run-wide translation-judgment memo:
 	// identical extracted responses recur across samples and models, and
 	// memoizing the whole judgment skips their repeated parse, BLEU, and
-	// equivalence work. nil when NoCache is set.
+	// equivalence work. nil when caching is disabled.
 	transMu   sync.Mutex
 	transMemo map[string]core.Outcome
 
 	// designMu guards designMemo: identical Design2SVA snippets recur
 	// across samples and models, so the expensive elaborate+prove
 	// judgment is memoized per (kind, instance, snippet). nil when
-	// NoCache is set.
+	// caching is disabled.
 	designMu   sync.Mutex
 	designMemo map[string]designCell
+}
+
+func newState(noCache bool) *state {
+	st := &state{formal: &formal.Stats{}}
+	if !noCache {
+		st.cache = equiv.NewCache()
+		st.transMemo = map[string]core.Outcome{}
+		st.designMemo = map[string]designCell{}
+	}
+	return st
+}
+
+// Engine executes benchmark runs over one shared equivalence cache.
+type Engine struct {
+	cfg Config
+	st  *state
 }
 
 type designCell struct{ syntax, proven bool }
@@ -129,21 +197,34 @@ const (
 	datasetMachine = "machine"
 )
 
-// New builds an engine; cfg.Shard must be valid (see Shard.Validate —
-// New panics on malformed specs so misconfigured processes fail loudly
-// instead of silently evaluating the wrong slice).
+// New builds an engine; cfg must be valid (see Config.Validate — New
+// panics on malformed configs so misconfigured processes fail loudly
+// instead of silently evaluating the wrong thing). Callers holding
+// untrusted configuration should call Validate first and surface the
+// error.
 func New(cfg Config) *Engine {
-	if err := cfg.Shard.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, formal: &formal.Stats{}}
-	if !cfg.NoCache {
-		e.cache = equiv.NewCache()
-		e.transMemo = map[string]core.Outcome{}
-		e.designMemo = map[string]designCell{}
+	return &Engine{cfg: cfg.withDefaults(), st: newState(cfg.NoCache)}
+}
+
+// Reconfigure derives an engine that runs under cfg but shares this
+// engine's memo pool (equivalence cache, judgment memos, formal
+// counters), so a service can serve differently tuned requests from
+// one cache. When cfg flips the caching mode relative to this
+// engine's pool, the derived engine gets a fresh pool instead:
+// sharing would either leak memoized verdicts into a NoCache run or
+// silently re-enable memos.
+func (e *Engine) Reconfigure(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	return e
+	st := e.st
+	if cfg.NoCache != (st.cache == nil) {
+		st = newState(cfg.NoCache)
+	}
+	return &Engine{cfg: cfg.withDefaults(), st: st}, nil
 }
 
 // judgeTranslation memoizes core.JudgeTranslation per (dataset,
@@ -154,23 +235,24 @@ func New(cfg Config) *Engine {
 // computation is harmless.
 func (e *Engine) judgeTranslation(dataset, id, response string, ref *sva.Assertion, sigs *equiv.Sigs) core.Outcome {
 	opt := e.equivOptions()
-	if e.transMemo == nil {
-		return core.JudgeTranslation(id, response, ref, sigs, opt, e.cache)
+	st := e.st
+	if st.transMemo == nil {
+		return core.JudgeTranslation(id, response, ref, sigs, opt, st.cache)
 	}
 	code := llm.ExtractCode(response)
 	key := dataset + "\x00" + id + "\x00" + code
-	e.transMu.Lock()
-	o, ok := e.transMemo[key]
-	e.transMu.Unlock()
+	st.transMu.Lock()
+	o, ok := st.transMemo[key]
+	st.transMu.Unlock()
 	if ok {
 		return o
 	}
 	// ExtractCode is idempotent, so the pre-extracted code stands in
 	// for the raw response.
-	o = core.JudgeTranslation(id, code, ref, sigs, opt, e.cache)
-	e.transMu.Lock()
-	e.transMemo[key] = o
-	e.transMu.Unlock()
+	o = core.JudgeTranslation(id, code, ref, sigs, opt, st.cache)
+	st.transMu.Lock()
+	st.transMemo[key] = o
+	st.transMu.Unlock()
 	return o
 }
 
@@ -179,18 +261,18 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // CacheStats snapshots the equivalence-cache counters; all zero when
 // the cache is disabled.
-func (e *Engine) CacheStats() equiv.CacheStats { return e.cache.Stats() }
+func (e *Engine) CacheStats() equiv.CacheStats { return e.st.cache.Stats() }
 
 // FormalStats snapshots the incremental formal backend's solver-reuse
 // and bound-ramp counters for this engine's runs.
-func (e *Engine) FormalStats() formal.Snapshot { return e.formal.Snapshot() }
+func (e *Engine) FormalStats() formal.Snapshot { return e.st.formal.Snapshot() }
 
 // equivOptions resolves the equivalence-checker options for this run.
 func (e *Engine) equivOptions() equiv.Options {
 	return equiv.Options{
 		Budget:   e.cfg.Budget,
 		MaxBound: e.cfg.MaxBound,
-		Stats:    e.formal,
+		Stats:    e.st.formal,
 	}
 }
 
@@ -200,7 +282,7 @@ func (e *Engine) mcOptions() mc.Options {
 	return mc.Options{
 		Budget:   e.cfg.Budget,
 		BMCDepth: e.cfg.MaxBound,
-		Stats:    e.formal,
+		Stats:    e.st.formal,
 	}
 }
 
@@ -216,17 +298,23 @@ func (j job) slot(samples int) int { return j.inst*samples + j.sample }
 
 // runGrid drains the full models × instances × samples grid through a
 // bounded worker pool. Workers stream results to a single collector
-// goroutine that places each outcome in its deterministic slot;
-// aggregation then folds the slots in grid order, so the result is
-// independent of worker count and completion order.
-func (e *Engine) runGrid(nModels, nInst, nSamples int, eval func(j job) core.Outcome) [][]core.Outcome {
+// goroutine that places each outcome in its deterministic slot and
+// notifies the observer; aggregation then folds the slots in grid
+// order, so the result is independent of worker count and completion
+// order.
+//
+// Cancelling ctx stops feeding the queue and wakes idle workers; the
+// grid returns ctx.Err() once in-flight jobs have drained, and the
+// partial outcome grid is discarded by every caller.
+func (e *Engine) runGrid(ctx context.Context, models []string, nInst, nSamples int, eval func(j job) core.Outcome, obs Observer) ([][]core.Outcome, error) {
+	nModels := len(models)
 	outcomes := make([][]core.Outcome, nModels)
 	for m := range outcomes {
 		outcomes[m] = make([]core.Outcome, nInst*nSamples)
 	}
 	total := nModels * nInst * nSamples
 	if total == 0 {
-		return outcomes
+		return outcomes, ctx.Err()
 	}
 
 	jobs := make(chan job, e.cfg.Workers)
@@ -245,8 +333,20 @@ func (e *Engine) runGrid(nModels, nInst, nSamples int, eval func(j job) core.Out
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
-			for j := range jobs {
-				results <- result{j: j, out: eval(j)}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case j, ok := <-jobs:
+					if !ok {
+						return
+					}
+					select {
+					case results <- result{j: j, out: eval(j)}:
+					case <-ctx.Done():
+						return
+					}
+				}
 			}
 		}()
 	}
@@ -255,15 +355,31 @@ func (e *Engine) runGrid(nModels, nInst, nSamples int, eval func(j job) core.Out
 	collector.Add(1)
 	go func() {
 		defer collector.Done()
+		done := 0
 		for r := range results {
 			outcomes[r.j.model][r.j.slot(nSamples)] = r.out
+			done++
+			if obs != nil {
+				obs(Progress{
+					Done: done, Total: total,
+					Model:      models[r.j.model],
+					InstanceID: r.out.InstanceID,
+					Sample:     r.j.sample,
+					Outcome:    r.out,
+				})
+			}
 		}
 	}()
 
+feed:
 	for m := 0; m < nModels; m++ {
 		for i := 0; i < nInst; i++ {
 			for s := 0; s < nSamples; s++ {
-				jobs <- job{model: m, inst: i, sample: s}
+				select {
+				case jobs <- job{model: m, inst: i, sample: s}:
+				case <-ctx.Done():
+					break feed
+				}
 			}
 		}
 	}
@@ -271,7 +387,19 @@ func (e *Engine) runGrid(nModels, nInst, nSamples int, eval func(j job) core.Out
 	workers.Wait()
 	close(results)
 	collector.Wait()
-	return outcomes
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}
+
+// names extracts the model-name axis for progress reporting.
+func names(models []llm.Model) []string {
+	out := make([]string, len(models))
+	for i, m := range models {
+		out[i] = m.Name()
+	}
+	return out
 }
 
 // clip truncates to cfg.Limit, then keeps this shard's instances.
@@ -303,18 +431,21 @@ func (e *Engine) passKSamples() int {
 // ---- NL2SVA-Human -------------------------------------------------------
 
 // NL2SVAHuman evaluates models with greedy decoding (Table 1).
-func (e *Engine) NL2SVAHuman(models []llm.Model) ([]core.ModelReport, error) {
+func (e *Engine) NL2SVAHuman(ctx context.Context, models []llm.Model, obs Observer) ([]core.ModelReport, error) {
 	insts, err := core.LoadHuman()
 	if err != nil {
 		return nil, err
 	}
 	insts = clip(insts, e.cfg)
-	outs := e.runGrid(len(models), len(insts), 1, func(j job) core.Outcome {
+	outs, err := e.runGrid(ctx, names(models), len(insts), 1, func(j job) core.Outcome {
 		in := insts[j.inst]
 		p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
 		resp := models[j.model].Generate(p, 0)
 		return e.judgeTranslation(datasetHuman, in.ID, resp, in.Reference, in.Sigs)
-	})
+	}, obs)
+	if err != nil {
+		return nil, err
+	}
 	var reports []core.ModelReport
 	for m, model := range models {
 		reports = append(reports, core.Aggregate(model.Name(), outs[m]))
@@ -323,19 +454,22 @@ func (e *Engine) NL2SVAHuman(models []llm.Model) ([]core.ModelReport, error) {
 }
 
 // NL2SVAHumanPassK evaluates pass@k with multiple samples (Table 2).
-func (e *Engine) NL2SVAHumanPassK(models []llm.Model, ks []int) ([]core.PassKReport, error) {
+func (e *Engine) NL2SVAHumanPassK(ctx context.Context, models []llm.Model, ks []int, obs Observer) ([]core.PassKReport, error) {
 	insts, err := core.LoadHuman()
 	if err != nil {
 		return nil, err
 	}
 	insts = clip(insts, e.cfg)
 	n := e.passKSamples()
-	outs := e.runGrid(len(models), len(insts), n, func(j job) core.Outcome {
+	outs, err := e.runGrid(ctx, names(models), len(insts), n, func(j job) core.Outcome {
 		in := insts[j.inst]
 		p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
 		resp := models[j.model].Generate(p, j.sample)
 		return e.judgeTranslation(datasetHuman, in.ID, resp, in.Reference, in.Sigs)
-	})
+	}, obs)
+	if err != nil {
+		return nil, err
+	}
 	var reports []core.PassKReport
 	for m, model := range models {
 		reports = append(reports, core.AggregatePassK(model.Name(), len(insts), n, ks, outs[m]))
@@ -347,14 +481,17 @@ func (e *Engine) NL2SVAHumanPassK(models []llm.Model, ks []int) ([]core.PassKRep
 
 // NL2SVAMachine evaluates the machine benchmark at a shot count
 // (Table 3 columns).
-func (e *Engine) NL2SVAMachine(models []llm.Model, shots, count int) ([]core.ModelReport, error) {
+func (e *Engine) NL2SVAMachine(ctx context.Context, models []llm.Model, shots, count int, obs Observer) ([]core.ModelReport, error) {
 	insts := clip(core.LoadMachine(count), e.cfg)
-	outs := e.runGrid(len(models), len(insts), 1, func(j job) core.Outcome {
+	outs, err := e.runGrid(ctx, names(models), len(insts), 1, func(j job) core.Outcome {
 		in := insts[j.inst]
 		p := llm.BuildMachinePrompt(in.ID, in.NL, shots, in.Reference)
 		resp := models[j.model].Generate(p, 0)
 		return e.judgeTranslation(datasetMachine, in.ID, resp, in.Reference, in.Sigs)
-	})
+	}, obs)
+	if err != nil {
+		return nil, err
+	}
 	var reports []core.ModelReport
 	for m, model := range models {
 		reports = append(reports, core.Aggregate(model.Name(), outs[m]))
@@ -363,15 +500,18 @@ func (e *Engine) NL2SVAMachine(models []llm.Model, shots, count int) ([]core.Mod
 }
 
 // NL2SVAMachinePassK evaluates machine pass@k at 3-shot (Table 4).
-func (e *Engine) NL2SVAMachinePassK(models []llm.Model, ks []int, count int) ([]core.PassKReport, error) {
+func (e *Engine) NL2SVAMachinePassK(ctx context.Context, models []llm.Model, ks []int, count int, obs Observer) ([]core.PassKReport, error) {
 	insts := clip(core.LoadMachine(count), e.cfg)
 	n := e.passKSamples()
-	outs := e.runGrid(len(models), len(insts), n, func(j job) core.Outcome {
+	outs, err := e.runGrid(ctx, names(models), len(insts), n, func(j job) core.Outcome {
 		in := insts[j.inst]
 		p := llm.BuildMachinePrompt(in.ID, in.NL, 3, in.Reference)
 		resp := models[j.model].Generate(p, j.sample)
 		return e.judgeTranslation(datasetMachine, in.ID, resp, in.Reference, in.Sigs)
-	})
+	}, obs)
+	if err != nil {
+		return nil, err
+	}
 	var reports []core.PassKReport
 	for m, model := range models {
 		reports = append(reports, core.AggregatePassK(model.Name(), len(insts), n, ks, outs[m]))
@@ -383,20 +523,32 @@ func (e *Engine) NL2SVAMachinePassK(models []llm.Model, ks []int, count int) ([]
 
 // Design2SVA evaluates models on a design category with n samples per
 // instance (Table 5 halves). Outcome.Full carries "proven".
-func (e *Engine) Design2SVA(models []llm.Model, kind string) ([]core.DesignReport, error) {
+func (e *Engine) Design2SVA(ctx context.Context, models []llm.Model, kind string, obs Observer) ([]core.DesignReport, error) {
+	return e.design2SVA(ctx, models, kind, []int{1, 5}, obs)
+}
+
+// Design2SVAKs is Design2SVA with a caller-chosen pass@k set.
+func (e *Engine) Design2SVAKs(ctx context.Context, models []llm.Model, kind string, ks []int, obs Observer) ([]core.DesignReport, error) {
+	return e.design2SVA(ctx, models, kind, ks, obs)
+}
+
+func (e *Engine) design2SVA(ctx context.Context, models []llm.Model, kind string, ks []int, obs Observer) ([]core.DesignReport, error) {
 	insts := clip(rtlgen.Sweep96(kind), e.cfg)
 	n := e.passKSamples()
-	outs := e.runGrid(len(models), len(insts), n, func(j job) core.Outcome {
+	outs, err := e.runGrid(ctx, names(models), len(insts), n, func(j job) core.Outcome {
 		inst := insts[j.inst]
 		p := llm.BuildDesignPrompt(inst)
 		resp := models[j.model].Generate(p, j.sample)
 		code := llm.ExtractCode(resp)
 		c := e.judgeDesignMemo(kind, inst, code)
 		return core.Outcome{InstanceID: inst.ID, Response: code, Syntax: c.syntax, Full: c.proven}
-	})
+	}, obs)
+	if err != nil {
+		return nil, err
+	}
 	var reports []core.DesignReport
 	for m, model := range models {
-		reports = append(reports, core.AggregateDesign(model.Name(), kind, len(insts), n, []int{1, 5}, outs[m]))
+		reports = append(reports, core.AggregateDesign(model.Name(), kind, len(insts), n, ks, outs[m]))
 	}
 	return reports, nil
 }
@@ -405,22 +557,23 @@ func (e *Engine) Design2SVA(models []llm.Model, kind string) ([]core.DesignRepor
 // snippet). Duplicate computation under contention is possible but
 // harmless: the judgment is deterministic.
 func (e *Engine) judgeDesignMemo(kind string, inst *rtlgen.Instance, code string) designCell {
-	if e.designMemo == nil {
+	st := e.st
+	if st.designMemo == nil {
 		syn, prov := core.JudgeDesign(inst, code, e.mcOptions())
 		return designCell{syntax: syn, proven: prov}
 	}
 	key := kind + "\x00" + inst.ID + "\x00" + code
-	e.designMu.Lock()
-	c, ok := e.designMemo[key]
-	e.designMu.Unlock()
+	st.designMu.Lock()
+	c, ok := st.designMemo[key]
+	st.designMu.Unlock()
 	if ok {
 		return c
 	}
 	syn, prov := core.JudgeDesign(inst, code, e.mcOptions())
 	c = designCell{syntax: syn, proven: prov}
-	e.designMu.Lock()
-	e.designMemo[key] = c
-	e.designMu.Unlock()
+	st.designMu.Lock()
+	st.designMemo[key] = c
+	st.designMu.Unlock()
 	return c
 }
 
@@ -428,33 +581,33 @@ func (e *Engine) judgeDesignMemo(kind string, inst *rtlgen.Instance, code string
 
 // RunNL2SVAHuman runs Table 1's evaluation on a fresh engine.
 func RunNL2SVAHuman(models []llm.Model, cfg Config) ([]core.ModelReport, error) {
-	return New(cfg).NL2SVAHuman(models)
+	return New(cfg).NL2SVAHuman(context.Background(), models, nil)
 }
 
 // RunNL2SVAHumanPassK runs Table 2's evaluation on a fresh engine.
 func RunNL2SVAHumanPassK(models []llm.Model, ks []int, cfg Config) ([]core.PassKReport, error) {
-	return New(cfg).NL2SVAHumanPassK(models, ks)
+	return New(cfg).NL2SVAHumanPassK(context.Background(), models, ks, nil)
 }
 
 // RunNL2SVAMachine runs one shot-setting of Table 3 on a fresh engine.
 func RunNL2SVAMachine(models []llm.Model, shots, count int, cfg Config) ([]core.ModelReport, error) {
-	return New(cfg).NL2SVAMachine(models, shots, count)
+	return New(cfg).NL2SVAMachine(context.Background(), models, shots, count, nil)
 }
 
 // RunNL2SVAMachinePassK runs Table 4's evaluation on a fresh engine.
 func RunNL2SVAMachinePassK(models []llm.Model, ks []int, count int, cfg Config) ([]core.PassKReport, error) {
-	return New(cfg).NL2SVAMachinePassK(models, ks, count)
+	return New(cfg).NL2SVAMachinePassK(context.Background(), models, ks, count, nil)
 }
 
 // RunDesign2SVA runs one category half of Table 5 on a fresh engine.
 func RunDesign2SVA(models []llm.Model, kind string, cfg Config) ([]core.DesignReport, error) {
-	return New(cfg).Design2SVA(models, kind)
+	return New(cfg).Design2SVA(context.Background(), models, kind, nil)
 }
 
 // Figure6 runs the NL2SVA-Human evaluation and renders the BLEU-vs-
 // functional-correctness correlation analysis.
-func (e *Engine) Figure6(models []llm.Model) (string, error) {
-	reports, err := e.NL2SVAHuman(models)
+func (e *Engine) Figure6(ctx context.Context, models []llm.Model, obs Observer) (string, error) {
+	reports, err := e.NL2SVAHuman(ctx, models, obs)
 	if err != nil {
 		return "", err
 	}

@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"fveval/internal/core"
@@ -151,11 +154,11 @@ func TestCacheDoesNotChangeVerdicts(t *testing.T) {
 	// outcome-level equality on the greedy flow too
 	ec := New(Config{Limit: 20})
 	eu := New(Config{Limit: 20, NoCache: true})
-	rc, err := ec.NL2SVAMachine(models, 3, 20)
+	rc, err := ec.NL2SVAMachine(context.Background(), models, 3, 20, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ru, err := eu.NL2SVAMachine(models, 3, 20)
+	ru, err := eu.NL2SVAMachine(context.Background(), models, 3, 20, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +183,7 @@ func TestCacheDoesNotChangeVerdicts(t *testing.T) {
 func TestCacheHitsOnPassK(t *testing.T) {
 	e := New(Config{Limit: 10, Samples: 5})
 	models := []llm.Model{llm.ModelByName("gpt-4o"), llm.ModelByName("llama-3.1-70b")}
-	if _, err := e.NL2SVAMachinePassK(models, []int{1, 5}, 10); err != nil {
+	if _, err := e.NL2SVAMachinePassK(context.Background(), models, []int{1, 5}, 10, nil); err != nil {
 		t.Fatal(err)
 	}
 	st := e.CacheStats()
@@ -248,7 +251,7 @@ func TestShardValidate(t *testing.T) {
 
 func TestEngineFigure6(t *testing.T) {
 	e := New(Config{Limit: 10})
-	out, err := e.Figure6([]llm.Model{llm.ModelByName("gpt-4o")})
+	out, err := e.Figure6(context.Background(), []llm.Model{llm.ModelByName("gpt-4o")}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,5 +265,134 @@ func TestConfigDefaults(t *testing.T) {
 	cfg := e.Config()
 	if cfg.Budget != 200000 || cfg.Workers < 1 || cfg.Samples != 1 {
 		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{{}, {Limit: 3, Samples: 5, Workers: 2, Budget: 1000, MaxBound: 8}}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("valid config %+v rejected: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Limit: -1},
+		{Samples: -2},
+		{Budget: -5},
+		{MaxBound: -1},
+		{Workers: -3},
+		{Shard: Shard{Index: 2, Count: 2}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("invalid config %+v accepted", c)
+		}
+	}
+	// New must fail loudly on a malformed config instead of clamping.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("New accepted negative Workers")
+		}
+	}()
+	New(Config{Workers: -1})
+}
+
+// TestObserverStreamsEveryJob checks the per-job progress feed: one
+// event per grid cell, serialized, with a monotonically increasing
+// done counter reaching the grid total.
+func TestObserverStreamsEveryJob(t *testing.T) {
+	e := New(Config{Limit: 6, Samples: 2, Workers: 4})
+	models := []llm.Model{llm.ModelByName("gpt-4o"), llm.ModelByName("llama-3-8b")}
+	var events []Progress
+	_, err := e.NL2SVAHumanPassK(context.Background(), models, []int{1, 2}, func(p Progress) {
+		events = append(events, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 6 * 2 // models × instances × samples
+	if len(events) != want {
+		t.Fatalf("got %d events, want %d", len(events), want)
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != want {
+			t.Fatalf("event %d: done %d/%d, want %d/%d", i, ev.Done, ev.Total, i+1, want)
+		}
+		if ev.Model == "" || ev.InstanceID == "" {
+			t.Fatalf("event %d missing identity: %+v", i, ev)
+		}
+	}
+}
+
+// TestCancellationStopsRun checks both a pre-cancelled context and a
+// cancellation triggered mid-run from the progress observer.
+func TestCancellationStopsRun(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o")}
+	e := New(Config{Limit: 12, Workers: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.NL2SVAHuman(ctx, models, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int64
+	_, err := e.NL2SVAHumanPassK(ctx, models, []int{1}, func(p Progress) {
+		if seen.Add(1) == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
+	}
+	if n := seen.Load(); n < 2 || n >= 12*5 {
+		t.Fatalf("cancelled run completed %d jobs, want a strict prefix past 2", n)
+	}
+}
+
+// TestReconfigureSharesCache checks that a derived engine reuses the
+// base engine's equivalence cache, and that flipping NoCache detaches
+// it instead of leaking memoized verdicts.
+func TestReconfigureSharesCache(t *testing.T) {
+	base := New(Config{Limit: 8})
+	models := []llm.Model{llm.ModelByName("gpt-4o")}
+	if _, err := base.NL2SVAHuman(context.Background(), models, nil); err != nil {
+		t.Fatal(err)
+	}
+	warm := base.CacheStats()
+	if warm.Misses == 0 {
+		t.Fatalf("base run recorded no cache traffic")
+	}
+
+	derived, err := base.Reconfigure(Config{Limit: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.st != base.st {
+		t.Fatalf("derived engine did not share the memo pool")
+	}
+	if _, err := derived.NL2SVAHuman(context.Background(), models, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The shared judgment memo absorbs the duplicate workload before it
+	// reaches the equivalence cache, so no new misses may appear.
+	if after := derived.CacheStats(); after.Misses != warm.Misses {
+		t.Fatalf("derived run re-solved memoized judgments: before %+v after %+v", warm, after)
+	}
+
+	detached, err := base.Reconfigure(Config{Limit: 8, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detached.st == base.st {
+		t.Fatalf("NoCache engine must not share a caching memo pool")
+	}
+	if st := detached.CacheStats(); st.Hits+st.Misses != 0 {
+		t.Fatalf("NoCache engine inherited cache traffic: %+v", st)
+	}
+	if _, err := base.Reconfigure(Config{Limit: -4}); err == nil {
+		t.Fatalf("Reconfigure accepted a negative Limit")
 	}
 }

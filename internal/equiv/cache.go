@@ -13,8 +13,8 @@ import (
 
 // CacheStats reports memo effectiveness for one run.
 type CacheStats struct {
-	Hits   int64
-	Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 }
 
 // HitRate is Hits / (Hits + Misses), 0 when the cache saw no traffic.

@@ -61,13 +61,13 @@ func (s *Stats) NodesEncoded(n int64) {
 
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
-	Queries     int64
-	Solves      int64
-	EarlyStops  int64
-	Conflicts   int64
-	LearntKept  int64
-	GatesShared int64
-	Encoded     int64
+	Queries     int64 `json:"queries"`
+	Solves      int64 `json:"solves"`
+	EarlyStops  int64 `json:"early_stops"`
+	Conflicts   int64 `json:"conflicts"`
+	LearntKept  int64 `json:"learnt_kept"`
+	GatesShared int64 `json:"gates_shared"`
+	Encoded     int64 `json:"encoded"`
 }
 
 // Snapshot copies the counters; zero for a nil receiver.

@@ -1,0 +1,201 @@
+package task
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fveval/internal/engine"
+	"fveval/internal/equiv"
+	"fveval/internal/formal"
+)
+
+// Request names one registry task plus overrides: Params are merged
+// onto the spec defaults and validated against it, Options tune the
+// evaluation engine for this run (zero value = the serving engine's
+// own configuration). Requests are JSON round-trippable, so they
+// double as the HTTP service's submission body.
+type Request struct {
+	// Task is a registry name (see Tasks).
+	Task string `json:"task"`
+	// Params overrides the spec defaults; fields the spec does not
+	// accept are rejected, not ignored.
+	Params Params `json:"params,omitzero"`
+	// Options tunes the engine for this run. The zero value inherits
+	// the serving engine's configuration; any other value derives an
+	// engine that still shares the serving engine's memo pool (unless
+	// NoCache detaches it).
+	Options engine.Config `json:"options,omitzero"`
+	// Progress, when non-nil, receives one Event per completed
+	// evaluation job. Events are delivered from the run's collector
+	// goroutine: calls are serialized and must not block for long.
+	Progress func(Event) `json:"-"`
+}
+
+// Validate checks the request against the registry without running
+// it: the task must exist, the parameter overrides must be accepted
+// by its spec, and the engine options must be well-formed.
+func (r Request) Validate() error {
+	spec, err := Lookup(r.Task)
+	if err != nil {
+		return err
+	}
+	if _, err := spec.resolve(r.Params); err != nil {
+		return fmt.Errorf("task %s: %w", spec.Name, err)
+	}
+	return r.Options.Validate()
+}
+
+// Event is one per-job progress notification.
+type Event struct {
+	Task string `json:"task"`
+	// Group is the sub-setting being evaluated ("0-shot", "pipeline",
+	// ...; empty for single-setting tasks).
+	Group string `json:"group,omitempty"`
+	// Done / Total count jobs within this group's evaluation grid.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Model, Instance, and Sample locate the finished job.
+	Model    string `json:"model,omitempty"`
+	Instance string `json:"instance,omitempty"`
+	Sample   int    `json:"sample"`
+	// Syntax and Func summarize the job's judgment.
+	Syntax bool `json:"syntax,omitempty"`
+	Func   bool `json:"func,omitempty"`
+}
+
+// Stats is the run's execution metadata.
+type Stats struct {
+	// Jobs is the number of evaluation jobs completed.
+	Jobs int `json:"jobs"`
+	// WallMS is the run's wall-clock duration in milliseconds.
+	WallMS int64 `json:"wall_ms"`
+	// Cache is this run's equivalence-cache delta (hits against
+	// entries predating the run still count as this run's hits).
+	Cache equiv.CacheStats `json:"cache"`
+	// Formal is this run's incremental formal-backend delta.
+	//
+	// Both deltas are computed from the shared memo pool's cumulative
+	// counters, so when several runs execute concurrently on one
+	// engine each delta also includes the traffic of runs overlapping
+	// it in time; per-run attribution is exact only for serialized
+	// runs. Engine-lifetime totals (Engine.CacheStats/FormalStats)
+	// are always exact.
+	Formal formal.Snapshot `json:"formal"`
+}
+
+// Run is the result of one task execution: the unified report plus
+// the echoed (fully resolved) request and execution metadata.
+type Run struct {
+	// Request echoes the request with params merged and options
+	// resolved to the configuration the run actually used.
+	Request Request `json:"request"`
+	Report  *Report `json:"report"`
+	Stats   Stats   `json:"stats"`
+}
+
+// Engine executes registry tasks. One Engine owns one evaluation
+// memo pool (equivalence cache, judgment memos, formal counters);
+// every Run through it — including concurrent runs with different
+// Options — shares that pool, so duplicate formal queries across
+// requests are solved once.
+type Engine struct {
+	base *engine.Engine
+}
+
+// NewEngine builds a task engine whose default run configuration is
+// cfg. Like engine.New it panics on an invalid cfg; callers holding
+// untrusted configuration should cfg.Validate() first.
+func NewEngine(cfg engine.Config) *Engine {
+	return &Engine{base: engine.New(cfg)}
+}
+
+// Config returns the engine's resolved default configuration.
+func (e *Engine) Config() engine.Config { return e.base.Config() }
+
+// CacheStats snapshots the shared equivalence-cache counters.
+func (e *Engine) CacheStats() equiv.CacheStats { return e.base.CacheStats() }
+
+// FormalStats snapshots the shared formal-backend counters.
+func (e *Engine) FormalStats() formal.Snapshot { return e.base.FormalStats() }
+
+// Run executes one registry task: the request is validated against
+// the task's spec, the evaluation runs on this engine's memo pool
+// under the request's options, progress streams to req.Progress, and
+// the unified report comes back with run metadata. Cancelling ctx
+// aborts the evaluation and returns ctx.Err().
+func (e *Engine) Run(ctx context.Context, req Request) (*Run, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec, err := Lookup(req.Task)
+	if err != nil {
+		return nil, err
+	}
+	p, err := spec.resolve(req.Params)
+	if err != nil {
+		return nil, fmt.Errorf("task %s: %w", spec.Name, err)
+	}
+	eng := e.base
+	if req.Options != (engine.Config{}) {
+		if eng, err = e.base.Reconfigure(req.Options); err != nil {
+			return nil, err
+		}
+	}
+
+	// jobs is only touched from each grid's collector goroutine, and
+	// grids within one run execute sequentially, so no lock is needed.
+	jobs := 0
+	obs := func(group string) engine.Observer {
+		return func(pr engine.Progress) {
+			jobs++
+			if req.Progress != nil {
+				req.Progress(Event{
+					Task: spec.Name, Group: group,
+					Done: pr.Done, Total: pr.Total,
+					Model: pr.Model, Instance: pr.InstanceID, Sample: pr.Sample,
+					Syntax: pr.Outcome.Syntax, Func: pr.Outcome.Full,
+				})
+			}
+		}
+	}
+
+	cache0, formal0 := eng.CacheStats(), eng.FormalStats()
+	start := time.Now()
+	groups, text, err := spec.run(ctx, eng, p, obs)
+	if err != nil {
+		return nil, err
+	}
+	cache1, formal1 := eng.CacheStats(), eng.FormalStats()
+
+	return &Run{
+		Request: Request{Task: spec.Name, Params: p, Options: eng.Config()},
+		Report: &Report{
+			Task: spec.Name, Title: spec.Title,
+			Table: spec.Table, Figure: spec.Figure, Kind: spec.Kind,
+			Params: p, Groups: groups, Text: text,
+		},
+		Stats: Stats{
+			Jobs:   jobs,
+			WallMS: time.Since(start).Milliseconds(),
+			Cache: equiv.CacheStats{
+				Hits:   cache1.Hits - cache0.Hits,
+				Misses: cache1.Misses - cache0.Misses,
+			},
+			Formal: subSnapshot(formal1, formal0),
+		},
+	}, nil
+}
+
+// subSnapshot is the per-run delta of the cumulative formal counters.
+func subSnapshot(a, b formal.Snapshot) formal.Snapshot {
+	return formal.Snapshot{
+		Queries:     a.Queries - b.Queries,
+		Solves:      a.Solves - b.Solves,
+		EarlyStops:  a.EarlyStops - b.EarlyStops,
+		Conflicts:   a.Conflicts - b.Conflicts,
+		LearntKept:  a.LearntKept - b.LearntKept,
+		GatesShared: a.GatesShared - b.GatesShared,
+		Encoded:     a.Encoded - b.Encoded,
+	}
+}

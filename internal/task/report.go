@@ -1,0 +1,266 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"fveval/internal/core"
+)
+
+// Report is the unified result of any task run: a superset of the
+// three legacy report shapes (core.ModelReport, core.PassKReport,
+// core.DesignReport), all of which project out of it losslessly. It
+// round-trips through JSON, so runs can be served, archived, and
+// re-rendered without re-evaluating.
+type Report struct {
+	// Task names the registry entry that produced this report.
+	Task  string `json:"task"`
+	Title string `json:"title,omitempty"`
+	// Table / Figure tie the report to the paper artifact (0 = none).
+	Table  int  `json:"table,omitempty"`
+	Figure int  `json:"figure,omitempty"`
+	Kind   Kind `json:"kind"`
+	// Params echoes the fully resolved parameters of the run.
+	Params Params `json:"params"`
+	// Groups carries per-model result rows, one group per sub-setting
+	// (shot count, design category; single-setting tasks use one
+	// unnamed group). Empty for purely textual artifacts.
+	Groups []Group `json:"groups,omitempty"`
+	// Text is the pre-rendered artifact for static tasks and figures.
+	Text string `json:"text,omitempty"`
+}
+
+// Group is one sub-setting of a task ("0-shot", "pipeline", ...).
+type Group struct {
+	Name string `json:"name,omitempty"`
+	Rows []Row  `json:"rows"`
+}
+
+// Row is the unified per-model result record. Greedy tasks fill the
+// mean metrics (Count, Syntax, Func, Partial, BLEU, Outcomes);
+// sampled tasks fill Samples and the pass@k maps. The legacy report
+// types project out via ModelReport, PassKReport, and DesignReport.
+type Row struct {
+	Model string `json:"model"`
+	// Count is the number of judged outcomes (greedy tasks).
+	Count int `json:"count,omitempty"`
+	// Samples is n, the samples drawn per instance (sampled tasks).
+	Samples int `json:"samples,omitempty"`
+
+	Syntax  float64 `json:"syntax,omitempty"`
+	Func    float64 `json:"func,omitempty"`
+	Partial float64 `json:"partial,omitempty"`
+	BLEU    float64 `json:"bleu,omitempty"`
+
+	SyntaxK  map[int]float64 `json:"syntax_at_k,omitempty"`
+	FuncK    map[int]float64 `json:"func_at_k,omitempty"`
+	PartialK map[int]float64 `json:"partial_at_k,omitempty"`
+
+	// Outcomes are the per-instance judgments (greedy tasks keep them
+	// for downstream analyses such as Figure 6).
+	Outcomes []core.Outcome `json:"outcomes,omitempty"`
+}
+
+// ---- projections onto the legacy report types ---------------------------
+
+func rowsFromModelReports(rs []core.ModelReport) []Row {
+	rows := make([]Row, 0, len(rs))
+	for _, r := range rs {
+		rows = append(rows, Row{
+			Model: r.Model, Count: r.Count,
+			Syntax: r.Syntax, Func: r.Func, Partial: r.Partial, BLEU: r.BLEU,
+			Outcomes: r.Outcomes,
+		})
+	}
+	return rows
+}
+
+func rowsFromPassKReports(rs []core.PassKReport) []Row {
+	rows := make([]Row, 0, len(rs))
+	for _, r := range rs {
+		rows = append(rows, Row{
+			Model: r.Model, Samples: r.N,
+			SyntaxK: r.SyntaxK, FuncK: r.FuncK, PartialK: r.PartialK,
+		})
+	}
+	return rows
+}
+
+func rowsFromDesignReports(rs []core.DesignReport) []Row {
+	rows := make([]Row, 0, len(rs))
+	for _, r := range rs {
+		rows = append(rows, Row{
+			Model: r.Model, Samples: r.N,
+			SyntaxK: r.SyntaxK, FuncK: r.FuncK,
+		})
+	}
+	return rows
+}
+
+// ModelReport projects the row onto the legacy greedy report type.
+func (r Row) ModelReport() core.ModelReport {
+	return core.ModelReport{
+		Model: r.Model, Count: r.Count,
+		Syntax: r.Syntax, Func: r.Func, Partial: r.Partial, BLEU: r.BLEU,
+		Outcomes: r.Outcomes,
+	}
+}
+
+// PassKReport projects the row onto the legacy pass@k report type.
+func (r Row) PassKReport() core.PassKReport {
+	return core.PassKReport{
+		Model: r.Model, N: r.Samples,
+		SyntaxK: r.SyntaxK, FuncK: r.FuncK, PartialK: r.PartialK,
+	}
+}
+
+// DesignReport projects the row onto the legacy Design2SVA report
+// type; kind is the group name the row came from.
+func (r Row) DesignReport(kind string) core.DesignReport {
+	return core.DesignReport{
+		Model: r.Model, Kind: kind, N: r.Samples,
+		SyntaxK: r.SyntaxK, FuncK: r.FuncK,
+	}
+}
+
+// ModelReports projects every row of the group.
+func (g Group) ModelReports() []core.ModelReport {
+	out := make([]core.ModelReport, 0, len(g.Rows))
+	for _, r := range g.Rows {
+		out = append(out, r.ModelReport())
+	}
+	return out
+}
+
+// PassKReports projects every row of the group.
+func (g Group) PassKReports() []core.PassKReport {
+	out := make([]core.PassKReport, 0, len(g.Rows))
+	for _, r := range g.Rows {
+		out = append(out, r.PassKReport())
+	}
+	return out
+}
+
+// DesignReports projects every row of the group under its kind.
+func (g Group) DesignReports() []core.DesignReport {
+	out := make([]core.DesignReport, 0, len(g.Rows))
+	for _, r := range g.Rows {
+		out = append(out, r.DesignReport(g.Name))
+	}
+	return out
+}
+
+// Group finds a group by name; a missing group projects to empty
+// report slices, so renderers degrade instead of panicking.
+func (r *Report) Group(name string) Group {
+	for _, g := range r.Groups {
+		if g.Name == name {
+			return g
+		}
+	}
+	return Group{Name: name}
+}
+
+// Encode is the canonical wire encoding (indented JSON); the golden
+// files under testdata pin this format.
+func (r *Report) Encode() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// DecodeReport parses a Report previously produced by Encode (or any
+// JSON encoding of the type).
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("task: decode report: %w", err)
+	}
+	return &r, nil
+}
+
+// Render produces the paper-layout artifact for the report: the table
+// renderers for tables 1–6 (byte-identical to the pre-registry entry
+// points on default parameters) and the pre-rendered text for static
+// tasks and figures. Non-default parameter sets that the paper
+// layouts cannot express (e.g. a single shot setting of Table 3)
+// render as one generic block per group.
+func (r *Report) Render() string {
+	if r.Text != "" {
+		return r.Text
+	}
+	switch r.Table {
+	case 1:
+		return core.FormatTable1(r.Group("").ModelReports())
+	case 2:
+		return core.FormatTable2(r.Group("").PassKReports())
+	case 3:
+		if len(r.Groups) == 2 {
+			return core.FormatTable3(r.Groups[0].ModelReports(), r.Groups[1].ModelReports())
+		}
+		return r.renderGeneric("NL2SVA-Machine")
+	case 4:
+		return core.FormatTable4(r.Group("").PassKReports())
+	case 5:
+		if len(r.Groups) == 2 && r.Groups[0].Name == "pipeline" && r.Groups[1].Name == "fsm" {
+			return core.FormatTable5(r.Groups[0].DesignReports(), r.Groups[1].DesignReports())
+		}
+		return r.renderGeneric("Design2SVA")
+	}
+	return r.renderGeneric(r.Task)
+}
+
+// renderGeneric lists every group's rows in the greedy column layout
+// (means) or a pass@k layout, for parameterizations outside the
+// paper's fixed tables.
+func (r *Report) renderGeneric(title string) string {
+	var b strings.Builder
+	for _, g := range r.Groups {
+		if g.Name != "" {
+			fmt.Fprintf(&b, "%s (%s)\n", title, g.Name)
+		} else {
+			b.WriteString(title + "\n")
+		}
+		sampled := len(g.Rows) > 0 && g.Rows[0].Samples > 0
+		if sampled {
+			ks := sortedKs(g.Rows)
+			fmt.Fprintf(&b, "%-18s", "Model")
+			for _, k := range ks {
+				fmt.Fprintf(&b, " %9s", fmt.Sprintf("Func.@%d", k))
+			}
+			b.WriteString("\n")
+			for _, row := range g.Rows {
+				fmt.Fprintf(&b, "%-18s", row.Model)
+				for _, k := range ks {
+					fmt.Fprintf(&b, " %9.3f", row.FuncK[k])
+				}
+				b.WriteString("\n")
+			}
+		} else {
+			fmt.Fprintf(&b, "%-18s %8s %8s %8s %8s\n", "Model", "Syntax", "Func.", "Partial", "BLEU")
+			for _, row := range g.Rows {
+				fmt.Fprintf(&b, "%-18s %8.3f %8.3f %8.3f %8.3f\n",
+					row.Model, row.Syntax, row.Func, row.Partial, row.BLEU)
+			}
+		}
+	}
+	return b.String()
+}
+
+func sortedKs(rows []Row) []int {
+	seen := map[int]bool{}
+	var ks []int
+	for _, r := range rows {
+		for k := range r.FuncK {
+			if !seen[k] {
+				seen[k] = true
+				ks = append(ks, k)
+			}
+		}
+	}
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j-1] > ks[j]; j-- {
+			ks[j-1], ks[j] = ks[j], ks[j-1]
+		}
+	}
+	return ks
+}
