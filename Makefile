@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI stay identical.
 GO ?= go
 
-.PHONY: build test service-smoke bench lint ci
+.PHONY: build test service-smoke cluster-smoke bench lint ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,13 @@ test:
 # httptest (registry listing, submit, stream, poll, cancel).
 service-smoke:
 	$(GO) test -race -v -count=1 ./cmd/fvevald
+
+# cluster-smoke launches two real fvevald workers on localhost, runs
+# fvevalctl against them (plus a dead-worker retry and a loopback
+# fleet), and diffs every distributed output against the
+# single-process run — the merge invariant, end to end.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # bench regenerates every table/figure once and refreshes the
 # BENCH_tables.json perf-trajectory artifact (benchmark -> ns/op, with
@@ -32,4 +39,4 @@ lint:
 	fi
 	$(GO) vet ./...
 
-ci: build lint test service-smoke bench
+ci: build lint test service-smoke cluster-smoke bench

@@ -11,9 +11,11 @@ package fveval
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"fveval/internal/core"
+	"fveval/internal/dist"
 	"fveval/internal/engine"
 	"fveval/internal/equiv"
 	"fveval/internal/gen/rtlgen"
@@ -23,6 +25,7 @@ import (
 	"fveval/internal/mc"
 	"fveval/internal/rtl"
 	"fveval/internal/sva"
+	"fveval/internal/task"
 )
 
 func BenchmarkTable1NL2SVAHuman(b *testing.B) {
@@ -156,6 +159,47 @@ func BenchmarkFigure6BLEUCorrelation(b *testing.B) {
 			b.Log("\n" + out)
 		}
 	}
+}
+
+// ---- Distributed layer (DESIGN.md §9) ----------------------------------
+
+// benchDist runs one registry task through the coordinator over a
+// loopback fleet; sub-benchmark names carry the fleet shape
+// ("shards=N/workers=N"), which benchjson records next to ns/op so
+// BENCH_tables.json tracks distributed speedups.
+func benchDist(b *testing.B, req task.Request, fleets []int) {
+	b.Helper()
+	for _, n := range fleets {
+		b.Run(fmt.Sprintf("shards=%d/workers=%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := dist.New(dist.Loopback(n, engine.Config{}), dist.Options{Shards: n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := c.Run(context.Background(), req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Log("\n" + res.Run.Report.Render())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistTable1 fans the Table 1 grid across loopback fleets.
+func BenchmarkDistTable1(b *testing.B) {
+	benchDist(b, task.Request{Task: "nl2sva-human"}, []int{2, 4})
+}
+
+// BenchmarkDistTable4 fans the heaviest pass@k grid (Table 4) across
+// loopback fleets.
+func BenchmarkDistTable4(b *testing.B) {
+	benchDist(b, task.Request{
+		Task:    "nl2sva-machine-passk",
+		Options: engine.Config{Samples: 5, Workers: 8},
+	}, []int{2, 4})
 }
 
 // ---- Ablations (DESIGN.md §6) ------------------------------------------

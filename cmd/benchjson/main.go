@@ -1,7 +1,11 @@
 // Command benchjson converts `go test -bench` output into the
-// BENCH_tables.json perf-trajectory artifact: a map from benchmark
-// name (the Benchmark prefix and -cpus suffix stripped) to ns/op,
-// alongside the previous run's numbers so each artifact carries its
+// BENCH_tables.json perf-trajectory artifact: one entry per benchmark
+// (the Benchmark prefix and -cpus suffix stripped) carrying ns/op, the
+// registry task that regenerates the same artifact, and — schema v3 —
+// the shard and worker counts parsed from distributed sub-benchmark
+// names ("DistTable1/shards=2/workers=2"), so the file tracks
+// distributed speedups next to single-process numbers. The previous
+// run's ns/op ride along as the baseline, so each artifact carries its
 // own before/after comparison.
 //
 // Usage:
@@ -25,25 +29,38 @@ import (
 	"fveval/internal/task"
 )
 
-// File is the BENCH_tables.json schema.
+// Entry is one benchmark's record in the v3 schema.
+type Entry struct {
+	// NsPerOp is nanoseconds per iteration for this run.
+	NsPerOp int64 `json:"ns_per_op"`
+	// Task is the registry task regenerating the same artifact
+	// (fveval -task <name>), when the benchmark maps to one.
+	Task string `json:"task,omitempty"`
+	// Shards and Workers locate the entry on the distributed-scaling
+	// axis: 1/1 for single-process benchmarks, the fleet shape for
+	// Dist benchmarks, so speedup curves fall out of one file.
+	Shards  int `json:"shards"`
+	Workers int `json:"workers"`
+}
+
+// File is the BENCH_tables.json schema (fveval-bench/v3).
 type File struct {
 	Schema string `json:"schema"`
-	// NsPerOp maps benchmark name to nanoseconds per iteration for
-	// this run.
+	// NsPerOp is the flat name → ns/op map, kept from v2 so baselines
+	// diff across schema versions.
 	NsPerOp map[string]int64 `json:"ns_per_op"`
-	// Tasks maps each table/figure benchmark onto the registry task
-	// that regenerates the same artifact (fveval -task <name>), so the
-	// perf trajectory is navigable from the task registry.
-	Tasks map[string]string `json:"tasks,omitempty"`
+	// Entries is the v3 per-benchmark record, adding task mapping and
+	// shard/worker counts.
+	Entries map[string]Entry `json:"entries"`
 	// BaselineNsPerOp carries the previous artifact's NsPerOp so the
 	// file itself records the before/after pair.
 	BaselineNsPerOp map[string]int64 `json:"baseline_ns_per_op,omitempty"`
 }
 
 // artifactName extracts the paper-artifact prefix of a benchmark name
-// ("Table2HumanPassK" -> table 2) and resolves the registry task that
-// reproduces it.
-var artifactName = regexp.MustCompile(`^(Table|Figure)(\d+)`)
+// ("Table2HumanPassK" or "DistTable1" -> table) and resolves the
+// registry task that reproduces it.
+var artifactName = regexp.MustCompile(`^(?:Dist)?(Table|Figure)(\d+)`)
 
 func taskFor(bench string) (string, bool) {
 	m := artifactName.FindStringSubmatch(bench)
@@ -66,14 +83,40 @@ func taskFor(bench string) (string, bool) {
 	return spec.Name, true
 }
 
-// benchLine matches e.g. "BenchmarkTable2HumanPassK-8   3   53136316 ns/op".
+// benchLine matches e.g. "BenchmarkTable2HumanPassK-8   3   53136316 ns/op"
+// including sub-benchmark names ("BenchmarkDistTable1/shards=2/workers=2-8").
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// fleetDim pulls shard/worker counts out of sub-benchmark path
+// segments ("/shards=2", "/workers=4").
+var fleetDim = regexp.MustCompile(`/(shards|workers)=(\d+)`)
+
+func entryFor(name string, ns int64) Entry {
+	e := Entry{NsPerOp: ns, Shards: 1, Workers: 1}
+	if t, ok := taskFor(name); ok {
+		e.Task = t
+	}
+	for _, m := range fleetDim.FindAllStringSubmatch(name, -1) {
+		if n, err := strconv.Atoi(m[2]); err == nil {
+			if m[1] == "shards" {
+				e.Shards = n
+			} else {
+				e.Workers = n
+			}
+		}
+	}
+	return e
+}
 
 func main() {
 	prev := flag.String("prev", "", "previous BENCH_tables.json whose ns_per_op becomes this artifact's baseline")
 	flag.Parse()
 
-	out := File{Schema: "fveval-bench/v2", NsPerOp: map[string]int64{}, Tasks: map[string]string{}}
+	out := File{
+		Schema:  "fveval-bench/v3",
+		NsPerOp: map[string]int64{},
+		Entries: map[string]Entry{},
+	}
 	if *prev != "" {
 		if data, err := os.ReadFile(*prev); err == nil {
 			var old File
@@ -95,9 +138,7 @@ func main() {
 			continue
 		}
 		out.NsPerOp[m[1]] = int64(ns)
-		if name, ok := taskFor(m[1]); ok {
-			out.Tasks[m[1]] = name
-		}
+		out.Entries[m[1]] = entryFor(m[1], int64(ns))
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -17,6 +17,13 @@
 //	fveval -table 2 -cache=false            # disable the equivalence memo
 //	fveval -table 2 -maxbound 12            # cap the formal bound ramp
 //
+// A sharded invocation emits the partial-report JSON wire shape
+// (-json is implied): raw outcome grids with slot provenance instead
+// of an unmergeable partial table. Collect all n shards' outputs and
+// recombine them with task.MergeReports (or run the whole thing under
+// cmd/fvevalctl, which does the fan-out and merge for you); the merged
+// report is byte-identical to an unsharded run.
+//
 // Solver-reuse and ramp statistics from the incremental formal
 // backend print to stderr next to the cache statistics.
 package main
@@ -45,7 +52,7 @@ func main() {
 	count := flag.Int("count", 0, "NL2SVA-Machine dataset size (0 = task default, 300)")
 	samples := flag.Int("samples", 5, "samples per instance for pass@k runs")
 	workers := flag.Int("workers", 0, "evaluation parallelism (0 = GOMAXPROCS)")
-	shard := flag.String("shard", "", "evaluate one instance slice, as i/n (e.g. 0/4); combine n processes to cover a run")
+	shard := flag.String("shard", "", "evaluate one instance slice, as i/n (e.g. 0/4), and emit mergeable partial-report JSON; combine n processes to cover a run")
 	cache := flag.Bool("cache", true, "memoize formal equivalence checks across the run")
 	maxBound := flag.Int("maxbound", 0, "cap for the formal backend's bound ramp: lasso bound for equivalence, BMC depth for model checking (0 = defaults, 16 each)")
 	budget := flag.Int64("budget", 0, "SAT conflict budget per formal query (0 = default 200000)")
@@ -191,13 +198,24 @@ func runTask(eng *task.Engine, name string, count int, jsonOut, explicit bool) e
 			p.Count = count
 		}
 	}
-	run, err := eng.Run(context.Background(), task.Request{Task: spec.Name, Params: p})
+	req := task.Request{Task: spec.Name, Params: p}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if eng.Config().Shard.Enabled() {
+		// A shard's aggregated table cannot be recombined; emit the
+		// partial-report wire shape instead (-json implied) so shards
+		// stay composable via task.MergeReports.
+		partial, err := eng.RunPartial(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		return enc.Encode(partial)
+	}
+	run, err := eng.Run(context.Background(), req)
 	if err != nil {
 		return err
 	}
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
 		return enc.Encode(run)
 	}
 	fmt.Println(run.Report.Render())

@@ -1,0 +1,257 @@
+// Command fvevalctl is the distributed-run coordinator CLI: it splits
+// one registry task into shard slices, fans them out across a worker
+// fleet — remote fvevald endpoints or in-process loopback engines —
+// retries failed or timed-out shards on healthy workers, and merges
+// the partial reports into a single report byte-identical to an
+// unsharded run.
+//
+// Usage:
+//
+//	fvevalctl tasks                                             # list the registry
+//	fvevalctl run -task table2 -workers http://a:8080,http://b:8080
+//	fvevalctl run -task nl2sva-human -local 4                   # 4 in-process engines
+//	fvevalctl run -task table4 -workers http://a:8080 -shards 8 # oversubscribe for balance
+//	fvevalctl run -task table1 -local 2 -json                   # merged run + fleet metadata as JSON
+//
+// -task accepts registry names plus tableN / figureN aliases. Worker
+// failures are retried on the remaining fleet (-attempts per shard);
+// a worker that keeps failing is benched for the rest of the run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"fveval/internal/dist"
+	"fveval/internal/engine"
+	"fveval/internal/task"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "tasks":
+		printRegistry()
+	case "run":
+		if err := runCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "fvevalctl:", err)
+			os.Exit(1)
+		}
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fvevalctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  fvevalctl tasks                 list the task registry
+  fvevalctl run -task <name> ...  run a task across a worker fleet
+run flags:`)
+	fs := runFlags(&runConfig{})
+	fs.SetOutput(os.Stderr)
+	fs.PrintDefaults()
+}
+
+func printRegistry() {
+	fmt.Printf("%-24s %-8s %-8s %-9s %s\n", "Task", "Paper", "Kind", "Sharded", "Title")
+	for _, s := range task.Tasks() {
+		paper := ""
+		switch {
+		case s.Table > 0:
+			paper = fmt.Sprintf("table %d", s.Table)
+		case s.Figure > 0:
+			paper = fmt.Sprintf("fig. %d", s.Figure)
+		}
+		sharded := "yes"
+		if !s.Shardable() {
+			sharded = "no"
+		}
+		fmt.Printf("%-24s %-8s %-8s %-9s %s\n", s.Name, paper, s.Kind, sharded, s.Title)
+	}
+}
+
+// runConfig collects the run subcommand's flags.
+type runConfig struct {
+	taskName string
+	workers  string
+	local    int
+	shards   int
+	attempts int
+	timeout  time.Duration
+	jsonOut  bool
+	verbose  bool
+
+	limit    int
+	count    int
+	samples  int
+	parallel int
+	cache    bool
+	maxBound int
+	budget   int64
+}
+
+func runFlags(c *runConfig) *flag.FlagSet {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.StringVar(&c.taskName, "task", "", "registry task to run (name, or tableN / figureN alias)")
+	fs.StringVar(&c.workers, "workers", "", "comma-separated fvevald worker URLs (http://host:port,...)")
+	fs.IntVar(&c.local, "local", 0, "spin N in-process loopback engines instead of remote workers (0 = NumCPU when -workers is empty)")
+	fs.IntVar(&c.shards, "shards", 0, "shard count override (0 = one per worker)")
+	fs.IntVar(&c.attempts, "attempts", 0, "max attempts per shard before the run fails (0 = 3)")
+	fs.DurationVar(&c.timeout, "shard-timeout", 0, "per-attempt deadline; an expired shard is reassigned (0 = none)")
+	fs.BoolVar(&c.jsonOut, "json", false, "emit the merged run plus fleet metadata as JSON")
+	fs.BoolVar(&c.verbose, "v", false, "stream coordinator progress to stderr")
+	fs.IntVar(&c.limit, "limit", 0, "truncate instance lists (0 = full size)")
+	fs.IntVar(&c.count, "count", 0, "NL2SVA-Machine dataset size (0 = task default)")
+	fs.IntVar(&c.samples, "samples", 0, "samples per instance for pass@k runs (0 = paper default)")
+	fs.IntVar(&c.parallel, "j", 0, "per-worker evaluation parallelism (0 = worker default)")
+	fs.BoolVar(&c.cache, "cache", true, "memoize formal equivalence checks within each worker")
+	fs.IntVar(&c.maxBound, "maxbound", 0, "cap for the formal backend's bound ramp (0 = defaults)")
+	fs.Int64Var(&c.budget, "budget", 0, "SAT conflict budget per formal query (0 = default)")
+	return fs
+}
+
+// aliasPattern resolves tableN / figN / figureN task aliases.
+var aliasPattern = regexp.MustCompile(`^(table|fig|figure)(\d+)$`)
+
+func resolveTask(name string) (*task.Spec, error) {
+	if m := aliasPattern.FindStringSubmatch(strings.ToLower(name)); m != nil {
+		n, err := strconv.Atoi(m[2])
+		if err == nil {
+			if m[1] == "table" {
+				return task.ByTable(n)
+			}
+			return task.ByFigure(n)
+		}
+	}
+	return task.Lookup(name)
+}
+
+func runCmd(args []string) error {
+	var c runConfig
+	fs := runFlags(&c)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if c.taskName == "" {
+		return fmt.Errorf("missing -task (see fvevalctl tasks)")
+	}
+	spec, err := resolveTask(c.taskName)
+	if err != nil {
+		return err
+	}
+
+	runners, err := buildFleet(&c)
+	if err != nil {
+		return err
+	}
+	req := task.Request{
+		Task: spec.Name,
+		Options: engine.Config{
+			Limit:    c.limit,
+			Samples:  c.samples,
+			Budget:   c.budget,
+			MaxBound: c.maxBound,
+			Workers:  c.parallel,
+			NoCache:  !c.cache,
+		},
+	}
+	if c.count > 0 {
+		if !acceptsCount(spec) {
+			return fmt.Errorf("task %s does not accept -count", spec.Name)
+		}
+		req.Params.Count = c.count
+	}
+
+	opts := dist.Options{
+		Shards:       c.shards,
+		MaxAttempts:  c.attempts,
+		ShardTimeout: c.timeout,
+	}
+	if c.verbose {
+		opts.Progress = func(ev dist.Event) {
+			switch ev.Type {
+			case dist.EventJob:
+				fmt.Fprintf(os.Stderr, "fvevalctl: %s shard %s job %d/%d (%s)\n",
+					ev.Worker, ev.Shard, ev.Job.Done, ev.Job.Total, ev.Job.Instance)
+			case dist.EventShardRetry, dist.EventWorkerDown:
+				fmt.Fprintf(os.Stderr, "fvevalctl: %s %s shard %s: %s\n", ev.Type, ev.Worker, ev.Shard, ev.Err)
+			default:
+				fmt.Fprintf(os.Stderr, "fvevalctl: %s %s shard %s (%d/%d shards)\n",
+					ev.Type, ev.Worker, ev.Shard, ev.Done, ev.Total)
+			}
+		}
+	}
+	coord, err := dist.New(runners, opts)
+	if err != nil {
+		return err
+	}
+	res, err := coord.Run(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	if c.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Println(res.Run.Report.Render())
+	fmt.Fprintf(os.Stderr, "fvevalctl: %d shards over %d workers, %d attempts (%d retried), %d jobs, slowest shard %dms\n",
+		res.Shards, res.Workers, res.Attempts, res.Retries, res.Run.Stats.Jobs, res.Run.Stats.WallMS)
+	return nil
+}
+
+// buildFleet resolves -workers / -local into runners.
+func buildFleet(c *runConfig) ([]dist.Runner, error) {
+	if c.local < 0 {
+		return nil, fmt.Errorf("-local %d out of range", c.local)
+	}
+	if c.workers != "" && c.local > 0 {
+		return nil, fmt.Errorf("-workers and -local are mutually exclusive")
+	}
+	if c.workers != "" {
+		var runners []dist.Runner
+		for _, u := range strings.Split(c.workers, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return nil, fmt.Errorf("worker %q: want an http(s) URL", u)
+			}
+			runners = append(runners, dist.NewHTTPRunner(u))
+		}
+		if len(runners) == 0 {
+			return nil, fmt.Errorf("-workers lists no URLs")
+		}
+		return runners, nil
+	}
+	n := c.local
+	if n == 0 {
+		n = runtime.NumCPU()
+	}
+	return dist.Loopback(n, engine.Config{}), nil
+}
+
+func acceptsCount(spec *task.Spec) bool {
+	for _, f := range spec.Accepts {
+		if f == "count" {
+			return true
+		}
+	}
+	return false
+}

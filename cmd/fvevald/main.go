@@ -6,11 +6,19 @@
 // Endpoints:
 //
 //	GET    /v1/tasks            registry listing (specs with defaults)
-//	POST   /v1/runs             submit a task.Request; returns {id}
+//	POST   /v1/runs             submit a task.Request; returns {id}.
+//	                            "partial": true (implied by shard-scoped
+//	                            options) evaluates a distributed shard and
+//	                            returns its raw partial report instead of
+//	                            an aggregated Run
 //	GET    /v1/runs             list submitted runs
-//	GET    /v1/runs/{id}        poll status; terminal states carry the full Run
+//	GET    /v1/runs/{id}        poll status; terminal states carry the full Run (or Partial)
 //	GET    /v1/runs/{id}/events stream progress (NDJSON; SSE with Accept: text/event-stream)
 //	DELETE /v1/runs/{id}        cancel a running evaluation
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops
+// accepting new runs (503), cancels in-flight run contexts, flushes
+// every event stream to its terminal status line, and exits 0.
 //
 // Quick start:
 //
@@ -19,13 +27,22 @@
 //	curl -X POST localhost:8080/v1/runs -d '{"task":"nl2sva-human","options":{"limit":10}}'
 //	curl localhost:8080/v1/runs/run-0001
 //	curl -N localhost:8080/v1/runs/run-0001/events
+//
+// A fleet of fvevald processes forms the worker side of the
+// distributed layer; point cmd/fvevalctl at them with -workers.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"fveval/internal/engine"
 	"fveval/internal/task"
@@ -37,6 +54,7 @@ func main() {
 	cache := flag.Bool("cache", true, "memoize formal equivalence checks across runs")
 	budget := flag.Int64("budget", 0, "SAT conflict budget per formal query (0 = default 200000)")
 	maxBound := flag.Int("maxbound", 0, "cap for the formal backend's bound ramp (0 = defaults)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for flushing streams and closing connections")
 	flag.Parse()
 
 	cfg := engine.Config{
@@ -49,6 +67,29 @@ func main() {
 		log.Fatalf("fvevald: %v", err)
 	}
 	srv := newServer(task.NewEngine(cfg))
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		sig := <-sigc
+		fmt.Printf("fvevald: %v: draining\n", sig)
+		// Terminal states land before Shutdown waits on handlers, so
+		// event streams flush their final status line and return.
+		srv.drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("fvevald: shutdown: %v", err)
+		}
+	}()
+
 	fmt.Printf("fvevald: serving %d tasks on %s\n", len(task.Tasks()), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("fvevald: %v", err)
+	}
+	<-done
+	fmt.Println("fvevald: drained, bye")
 }

@@ -3,13 +3,16 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"fveval/internal/dist"
 	"fveval/internal/engine"
 	"fveval/internal/task"
 )
@@ -232,6 +235,174 @@ func TestServiceSSEFraming(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "event: end") {
 		t.Fatalf("SSE stream missing end event:\n%s", buf.String())
+	}
+}
+
+// pollTerminal waits for a run to leave the running state and returns
+// its final view.
+func pollTerminal(t *testing.T, base, id string) (view struct {
+	Status  string
+	Error   string
+	Run     *task.Run
+	Partial *task.Partial
+}) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, base+"/v1/runs/"+id, &view)
+		if view.Status != statusRunning {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s never finished", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServicePartialRun submits a shard-scoped run and expects the
+// raw partial-report wire shape (not an aggregated Run) back.
+func TestServicePartialRun(t *testing.T) {
+	srv := httptest.NewServer(newServer(task.NewEngine(engine.Config{})))
+	defer srv.Close()
+
+	body := `{"task":"nl2sva-human","params":{"models":["gpt-4o"]},"options":{"limit":6,"shard":{"index":0,"count":2}}}`
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct{ ID string }
+	decodeBody(t, resp, &submitted)
+	view := pollTerminal(t, srv.URL, submitted.ID)
+	if view.Status != statusDone {
+		t.Fatalf("partial run ended %s (%s)", view.Status, view.Error)
+	}
+	if view.Run != nil {
+		t.Fatalf("shard-scoped run returned an aggregated Run")
+	}
+	p := view.Partial
+	if p == nil || p.Task != "nl2sva-human" || len(p.Groups) != 1 {
+		t.Fatalf("partial malformed: %+v", p)
+	}
+	g := p.Groups[0].Grid
+	want := engine.Shard{Index: 0, Count: 2}
+	if g == nil || g.Shard != want || g.Total != 6 || g.Local != 3 {
+		t.Fatalf("grid provenance malformed: %+v", g)
+	}
+}
+
+// TestClusterDistributedRun is the in-process version of the CI
+// cluster smoke: two fvevald workers behind dist.HTTPRunner — one of
+// which crashes its first submission — and coordinator output must be
+// byte-identical to a single-engine run.
+func TestClusterDistributedRun(t *testing.T) {
+	a := httptest.NewServer(newServer(task.NewEngine(engine.Config{})))
+	defer a.Close()
+	healthy := newServer(task.NewEngine(engine.Config{}))
+	var injected atomic.Bool
+	injected.Store(true)
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && injected.CompareAndSwap(true, false) {
+			http.Error(w, `{"error":"injected worker crash"}`, http.StatusInternalServerError)
+			return
+		}
+		healthy.ServeHTTP(w, r)
+	}))
+	defer b.Close()
+
+	req := task.Request{
+		Task:    "nl2sva-human",
+		Params:  task.Params{Models: []string{"gpt-4o", "llama-3-8b"}},
+		Options: engine.Config{Limit: 6, Workers: 2},
+	}
+	base, err := task.NewEngine(engine.Config{}).Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnc, err := base.Report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var jobs atomic.Int64
+	coord, err := dist.New(
+		[]dist.Runner{dist.NewHTTPRunner(a.URL), dist.NewHTTPRunner(b.URL)},
+		dist.Options{Progress: func(ev dist.Event) {
+			if ev.Type == dist.EventJob {
+				jobs.Add(1)
+			}
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEnc, err := res.Run.Report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotEnc, wantEnc) {
+		t.Fatalf("distributed Encode diverged\n--- dist ---\n%s\n--- single ---\n%s", gotEnc, wantEnc)
+	}
+	if got, want := res.Run.Report.Render(), base.Report.Render(); got != want {
+		t.Fatalf("distributed Render diverged\n--- dist ---\n%s\n--- single ---\n%s", got, want)
+	}
+	if res.Retries < 1 {
+		t.Fatalf("injected failure was never retried: %+v", res)
+	}
+	// 2 models x 6 instances, streamed once each across the fleet.
+	if jobs.Load() != 12 {
+		t.Fatalf("streamed %d merged job events, want 12", jobs.Load())
+	}
+}
+
+// TestServerDrain exercises the graceful-shutdown path: in-flight
+// runs are cancelled to a terminal state, their event streams end,
+// and new submissions are refused with 503.
+func TestServerDrain(t *testing.T) {
+	s := newServer(task.NewEngine(engine.Config{Workers: 1}))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	body := `{"task":"nl2sva-human-passk","params":{"models":["gpt-4o","llama-3.1-70b"]},"options":{"samples":5,"workers":1}}`
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct{ ID string }
+	decodeBody(t, resp, &submitted)
+
+	s.drain()
+
+	view := pollTerminal(t, srv.URL, submitted.ID)
+	if view.Status == statusRunning {
+		t.Fatalf("drain left run %s running", submitted.ID)
+	}
+
+	// The drained run's event stream must replay and terminate, not hang.
+	streamResp, err := http.Get(srv.URL + "/v1/runs/" + submitted.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(streamResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	streamResp.Body.Close()
+	if !strings.Contains(buf.String(), `"status"`) {
+		t.Fatalf("drained stream missing terminal status:\n%s", buf.String())
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(`{"task":"dataset-stats"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: status %d, want 503", resp.StatusCode)
 	}
 }
 

@@ -22,7 +22,8 @@ const (
 
 // runState tracks one submitted run: its request, its lifecycle, the
 // buffered progress events (replayed to late stream subscribers), and
-// the final result.
+// the final result (a unified Run, or a raw Partial for shard-scoped
+// submissions).
 type runState struct {
 	id     string
 	req    task.Request
@@ -33,9 +34,10 @@ type runState struct {
 	events []task.Event
 	// notify is closed (and, while running, replaced) whenever events
 	// or status change, waking every waiting stream handler.
-	notify chan struct{}
-	result *task.Run
-	errMsg string
+	notify  chan struct{}
+	result  *task.Run
+	partial *task.Partial
+	errMsg  string
 }
 
 // publish appends one progress event and wakes streamers. It is the
@@ -53,13 +55,14 @@ func (rs *runState) publish(ev task.Event) {
 // last time (without replacing notify: the channel stays closed, so
 // any later subscriber proceeds immediately and sees the final
 // status).
-func (rs *runState) finish(res *task.Run, err error) {
+func (rs *runState) finish(res *task.Run, partial *task.Partial, err error) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	switch {
 	case err == nil:
 		rs.status = statusDone
 		rs.result = res
+		rs.partial = partial
 	case errors.Is(err, context.Canceled):
 		rs.status = statusCancelled
 		rs.errMsg = err.Error()
@@ -87,6 +90,10 @@ type server struct {
 	runs map[string]*runState
 	// order lists run ids oldest-first for eviction.
 	order []string
+	// draining refuses new submissions during graceful shutdown; wg
+	// tracks in-flight run goroutines so drain can wait them out.
+	draining bool
+	wg       sync.WaitGroup
 }
 
 func newServer(eng *task.Engine) *server {
@@ -123,19 +130,26 @@ func (s *server) handleTasks(w http.ResponseWriter, r *http.Request) {
 // The request is validated synchronously (400 on a bad task name,
 // parameter, or option) and evaluated asynchronously; poll
 // GET /v1/runs/{id} or stream GET /v1/runs/{id}/events.
+//
+// A body with "partial": true — or any shard-scoped options, since a
+// shard's aggregated table is a dead end — evaluates via RunPartial
+// and surfaces the raw partial report in the run view, ready for
+// task.MergeReports on a coordinator.
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req task.Request
+	var sub task.Submission
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(&sub); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	req := sub.Request
 	if err := req.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	partial := sub.Partial || req.Options.Shard.Enabled()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	rs := &runState{
@@ -144,20 +158,50 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		notify: make(chan struct{}),
 	}
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
 	s.seq++
 	rs.id = fmt.Sprintf("run-%04d", s.seq)
 	s.runs[rs.id] = rs
 	s.order = append(s.order, rs.id)
 	s.evictLocked()
+	s.wg.Add(1)
 	s.mu.Unlock()
 
 	req.Progress = rs.publish
 	go func() {
+		defer s.wg.Done()
 		defer cancel()
+		if partial {
+			p, err := s.eng.RunPartial(ctx, req)
+			rs.finish(nil, p, err)
+			return
+		}
 		res, err := s.eng.Run(ctx, req)
-		rs.finish(res, err)
+		rs.finish(res, nil, err)
 	}()
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": rs.id, "status": statusRunning})
+}
+
+// drain begins graceful shutdown: refuse new submissions, cancel
+// every in-flight run, and wait for their goroutines to record
+// terminal states (which also wakes and ends every event stream).
+func (s *server) drain() {
+	s.mu.Lock()
+	s.draining = true
+	states := make([]*runState, 0, len(s.runs))
+	for _, rs := range s.runs {
+		states = append(states, rs)
+	}
+	s.mu.Unlock()
+	for _, rs := range states {
+		rs.cancel()
+	}
+	s.wg.Wait()
 }
 
 // evictLocked drops the oldest terminal runs beyond maxRetainedRuns;
@@ -196,13 +240,14 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) *runState {
 
 // runView is the poll shape: GET /v1/runs/{id}.
 type runView struct {
-	ID     string      `json:"id"`
-	Status string      `json:"status"`
-	Task   string      `json:"task"`
-	Events int         `json:"events"`
-	Error  string      `json:"error,omitempty"`
-	Run    *task.Run   `json:"run,omitempty"`
-	Last   *task.Event `json:"last_event,omitempty"`
+	ID     string        `json:"id"`
+	Status string        `json:"status"`
+	Task   string        `json:"task"`
+	Events int           `json:"events"`
+	Error  string        `json:"error,omitempty"`
+	Run    *task.Run     `json:"run,omitempty"`
+	Part   *task.Partial `json:"partial,omitempty"`
+	Last   *task.Event   `json:"last_event,omitempty"`
 }
 
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -213,7 +258,7 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	rs.mu.Lock()
 	v := runView{
 		ID: rs.id, Status: rs.status, Task: rs.req.Task,
-		Events: len(rs.events), Error: rs.errMsg, Run: rs.result,
+		Events: len(rs.events), Error: rs.errMsg, Run: rs.result, Part: rs.partial,
 	}
 	if n := len(rs.events); n > 0 {
 		last := rs.events[n-1]

@@ -1,0 +1,287 @@
+// Package dist is the distributed-run layer on top of the task
+// registry: a Coordinator splits any registry request into shard
+// slices via the planner (PlanShards), dispatches them across a fleet
+// of workers behind one Runner interface — in-process loopback engines
+// or remote fvevald endpoints — streams merged per-job progress,
+// retries failed or timed-out shards on healthy workers, and
+// deterministically recombines the partial reports (task.MergeRuns)
+// into a single Report whose Render and Encode output is
+// byte-identical to an unsharded single-engine run.
+//
+// The merge invariant rests on three facts: judgments are
+// deterministic per (instance, model, sample) cell, shards carry slot
+// provenance (engine.Grid), and aggregation folds the reassembled
+// lattice through exactly the code path a local run uses. Worker
+// count, shard count, dispatch order, and retries therefore never
+// change a byte of output — only wall-clock time.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fveval/internal/engine"
+	"fveval/internal/task"
+)
+
+// Options tunes a coordinator.
+type Options struct {
+	// Shards overrides the planned slice count (0 = one shard per
+	// runner for shardable tasks). More shards than runners gives
+	// finer-grained rebalancing when workers are uneven.
+	Shards int
+	// MaxAttempts bounds how often one shard may be attempted before
+	// the whole run fails (0 = 3).
+	MaxAttempts int
+	// RunnerFailureLimit benches a worker after this many consecutive
+	// failed attempts, so a dead endpoint stops eating retries
+	// (0 = 2). Benched workers stay out for the rest of the run.
+	RunnerFailureLimit int
+	// ShardTimeout bounds one shard attempt; an expired attempt counts
+	// as a failure and the shard is reassigned (0 = no timeout).
+	ShardTimeout time.Duration
+	// Progress receives merged coordinator events; calls are
+	// serialized across workers and must not block for long.
+	Progress func(Event)
+}
+
+// Event types.
+const (
+	// EventShardStart marks a shard attempt beginning on a worker.
+	EventShardStart = "shard-start"
+	// EventJob forwards one per-job progress event from a shard.
+	EventJob = "job"
+	// EventShardDone marks a shard's partial landing.
+	EventShardDone = "shard-done"
+	// EventShardRetry marks a failed attempt being requeued.
+	EventShardRetry = "shard-retry"
+	// EventWorkerDown marks a worker benched after consecutive failures.
+	EventWorkerDown = "worker-down"
+)
+
+// Event is one merged progress notification from the coordinator.
+type Event struct {
+	Type   string       `json:"type"`
+	Worker string       `json:"worker,omitempty"`
+	Shard  engine.Shard `json:"shard,omitzero"`
+	// Done / Total count completed shards at emission time.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Job is the forwarded per-job event (EventJob only).
+	Job *task.Event `json:"job,omitempty"`
+	// Err describes the failure (retry and bench events).
+	Err string `json:"err,omitempty"`
+}
+
+// Result is one completed distributed run.
+type Result struct {
+	// Run is the merged run: unified Report plus folded stats.
+	Run *task.Run `json:"run"`
+	// Shards and Workers describe the plan that produced it.
+	Shards  int `json:"shards"`
+	Workers int `json:"workers"`
+	// Attempts counts shard attempts including retries; Retries counts
+	// the failed attempts that were requeued.
+	Attempts int `json:"attempts"`
+	Retries  int `json:"retries"`
+}
+
+// Coordinator fans registry requests out across a worker fleet.
+type Coordinator struct {
+	runners []Runner
+	opts    Options
+}
+
+// New builds a coordinator over a non-empty fleet.
+func New(runners []Runner, opts Options) (*Coordinator, error) {
+	if len(runners) == 0 {
+		return nil, fmt.Errorf("dist: no runners")
+	}
+	if opts.Shards < 0 || opts.MaxAttempts < 0 || opts.RunnerFailureLimit < 0 || opts.ShardTimeout < 0 {
+		return nil, fmt.Errorf("dist: negative option")
+	}
+	if opts.MaxAttempts == 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.RunnerFailureLimit == 0 {
+		opts.RunnerFailureLimit = 2
+	}
+	return &Coordinator{runners: append([]Runner(nil), runners...), opts: opts}, nil
+}
+
+// item is one shard attempt in the dispatch queue.
+type item struct {
+	shard   int
+	attempt int
+}
+
+// Run executes one registry request across the fleet and returns the
+// merged result. Cancelling ctx aborts every in-flight shard and
+// returns ctx.Err(). A shard that fails MaxAttempts times fails the
+// run; losing every worker with shards outstanding fails the run.
+func (c *Coordinator) Run(ctx context.Context, req task.Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec, err := task.Lookup(req.Task)
+	if err != nil {
+		return nil, err
+	}
+	shards := c.opts.Shards
+	switch {
+	case !spec.Shardable():
+		shards = 1
+	case shards == 0:
+		shards = len(c.runners)
+	}
+	plan, err := PlanShards(req, shards)
+	if err != nil {
+		return nil, err
+	}
+	n := len(plan.Shards)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	queue := make(chan item, n) // cap n: each shard has at most one outstanding attempt
+	for i := 0; i < n; i++ {
+		queue <- item{shard: i, attempt: 1}
+	}
+
+	var (
+		mu        sync.Mutex
+		partials  = make([]*task.Partial, n)
+		remaining = n
+		attempts  int
+		retries   int
+		fatal     error
+		doneOnce  sync.Once
+		done      = make(chan struct{})
+	)
+	var emitMu sync.Mutex
+	emit := func(ev Event) {
+		if c.opts.Progress == nil {
+			return
+		}
+		emitMu.Lock()
+		c.opts.Progress(ev)
+		emitMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for _, r := range c.runners {
+		wg.Add(1)
+		go func(r Runner) {
+			defer wg.Done()
+			consecutive := 0
+			for {
+				var it item
+				select {
+				case <-runCtx.Done():
+					return
+				case it = <-queue:
+				}
+				sub := plan.Shards[it.shard]
+				shard := sub.Options.Shard
+				sub.Progress = func(ev task.Event) {
+					mu.Lock()
+					d := n - remaining
+					mu.Unlock()
+					emit(Event{Type: EventJob, Worker: r.Name(), Shard: shard, Done: d, Total: n, Job: &ev})
+				}
+				attemptCtx, cancelAttempt := runCtx, context.CancelFunc(func() {})
+				if c.opts.ShardTimeout > 0 {
+					attemptCtx, cancelAttempt = context.WithTimeout(runCtx, c.opts.ShardTimeout)
+				}
+				mu.Lock()
+				attempts++
+				d := n - remaining
+				mu.Unlock()
+				emit(Event{Type: EventShardStart, Worker: r.Name(), Shard: shard, Done: d, Total: n})
+
+				p, err := r.Run(attemptCtx, sub)
+				cancelAttempt()
+				if err == nil && p != nil {
+					consecutive = 0
+					mu.Lock()
+					if partials[it.shard] == nil {
+						partials[it.shard] = p
+						remaining--
+					}
+					rem := remaining
+					mu.Unlock()
+					emit(Event{Type: EventShardDone, Worker: r.Name(), Shard: shard, Done: n - rem, Total: n})
+					if rem == 0 {
+						doneOnce.Do(func() { close(done) })
+						return
+					}
+					continue
+				}
+				if runCtx.Err() != nil {
+					return // the run as a whole is over; not this worker's failure
+				}
+				if err == nil {
+					err = fmt.Errorf("runner returned no partial")
+				}
+				consecutive++
+				mu.Lock()
+				if it.attempt >= c.opts.MaxAttempts {
+					if fatal == nil {
+						fatal = fmt.Errorf("dist: shard %s failed after %d attempts (last on %s): %w",
+							shard, it.attempt, r.Name(), err)
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				retries++
+				d = n - remaining
+				mu.Unlock()
+				emit(Event{Type: EventShardRetry, Worker: r.Name(), Shard: shard, Done: d, Total: n, Err: err.Error()})
+				queue <- item{shard: it.shard, attempt: it.attempt + 1}
+				if consecutive >= c.opts.RunnerFailureLimit {
+					emit(Event{Type: EventWorkerDown, Worker: r.Name(), Done: d, Total: n, Err: err.Error()})
+					return
+				}
+			}
+		}(r)
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-done:
+		cancel() // release workers parked on the queue
+		<-finished
+	case <-finished:
+		// every worker exited: run done, fatal, or fleet exhausted
+	case <-ctx.Done():
+		cancel()
+		<-finished
+	}
+
+	// All workers have exited; no further writes race these reads.
+	if fatal != nil {
+		return nil, fatal
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("dist: %d of %d shards unfinished: no healthy workers left", remaining, n)
+	}
+	merged, err := task.MergeRuns(partials)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Run:    merged,
+		Shards: n, Workers: len(c.runners),
+		Attempts: attempts, Retries: retries,
+	}, nil
+}

@@ -1,0 +1,295 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"fveval/internal/engine"
+	"fveval/internal/task"
+)
+
+// smallRequest shrinks each registry task to a fast deterministic
+// slice; every task stays covered.
+func smallRequest(name string) task.Request {
+	req := task.Request{Task: name, Options: engine.Config{Workers: 2}}
+	switch name {
+	case "nl2sva-human":
+		req.Params = task.Params{Models: []string{"gpt-4o", "llama-3-8b"}}
+		req.Options.Limit = 6
+	case "nl2sva-human-passk":
+		req.Params = task.Params{Models: []string{"gpt-4o"}}
+		req.Options.Limit = 4
+		req.Options.Samples = 2
+	case "nl2sva-machine":
+		req.Params = task.Params{Models: []string{"gpt-4o"}, Count: 8}
+	case "nl2sva-machine-passk":
+		req.Params = task.Params{Models: []string{"gpt-4o"}, Count: 6}
+		req.Options.Samples = 2
+	case "design2sva":
+		req.Params = task.Params{Models: []string{"gpt-4o"}}
+		req.Options.Limit = 2
+		req.Options.Samples = 2
+	case "machine-token-lengths":
+		req.Params = task.Params{Count: 30}
+	case "bleu-correlation":
+		req.Params = task.Params{Models: []string{"gpt-4o"}}
+		req.Options.Limit = 5
+	}
+	return req
+}
+
+// single runs the request on one plain engine — the oracle every
+// distributed configuration must match byte-for-byte.
+func single(t *testing.T, req task.Request) ([]byte, string) {
+	t.Helper()
+	run, err := task.NewEngine(engine.Config{}).Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := run.Report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, run.Report.Render()
+}
+
+// TestCoordinatorByteIdenticalEveryTask is the subsystem's acceptance
+// bar: for every registry task, coordinator output over 1, 2, 4, and 7
+// loopback workers is byte-identical (Encode and Render) to the
+// single-engine run.
+func TestCoordinatorByteIdenticalEveryTask(t *testing.T) {
+	for _, spec := range task.Tasks() {
+		t.Run(spec.Name, func(t *testing.T) {
+			req := smallRequest(spec.Name)
+			wantEnc, wantText := single(t, req)
+			for _, workers := range []int{1, 2, 4, 7} {
+				c, err := New(Loopback(workers, engine.Config{}), Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := c.Run(context.Background(), req)
+				if err != nil {
+					t.Fatalf("%d workers: %v", workers, err)
+				}
+				gotEnc, err := res.Run.Report.Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotEnc, wantEnc) {
+					t.Fatalf("%d workers: Encode diverged\n--- dist ---\n%s\n--- single ---\n%s", workers, gotEnc, wantEnc)
+				}
+				if got := res.Run.Report.Render(); got != wantText {
+					t.Fatalf("%d workers: Render diverged\n--- dist ---\n%s\n--- single ---\n%s", workers, got, wantText)
+				}
+				wantShards := workers
+				if !spec.Shardable() {
+					wantShards = 1
+				}
+				if res.Shards != wantShards || res.Workers != workers {
+					t.Fatalf("%d workers: result metadata %d shards / %d workers", workers, res.Shards, res.Workers)
+				}
+			}
+		})
+	}
+}
+
+// flakyRunner fails its first failures Run calls, then delegates.
+type flakyRunner struct {
+	Runner
+	mu       sync.Mutex
+	failures int
+}
+
+func (r *flakyRunner) Run(ctx context.Context, req task.Request) (*task.Partial, error) {
+	r.mu.Lock()
+	fail := r.failures > 0
+	if fail {
+		r.failures--
+	}
+	r.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("injected worker failure")
+	}
+	return r.Runner.Run(ctx, req)
+}
+
+// deadRunner always fails.
+type deadRunner struct{ name string }
+
+func (r *deadRunner) Name() string { return r.name }
+func (r *deadRunner) Run(context.Context, task.Request) (*task.Partial, error) {
+	return nil, fmt.Errorf("connection refused")
+}
+
+// TestCoordinatorRetriesInjectedFailure injects one worker failure
+// into a 2-worker fleet: the shard must be retried and the merged
+// output must stay byte-identical to the single-engine run.
+func TestCoordinatorRetriesInjectedFailure(t *testing.T) {
+	req := smallRequest("nl2sva-human-passk")
+	wantEnc, wantText := single(t, req)
+
+	fleet := Loopback(2, engine.Config{})
+	fleet[0] = &flakyRunner{Runner: fleet[0], failures: 1}
+	var events []Event
+	c, err := New(fleet, Options{Progress: func(ev Event) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 1 || res.Attempts != res.Shards+1 {
+		t.Fatalf("expected exactly one retry, got %d retries / %d attempts over %d shards",
+			res.Retries, res.Attempts, res.Shards)
+	}
+	gotEnc, err := res.Run.Report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotEnc, wantEnc) || res.Run.Report.Render() != wantText {
+		t.Fatalf("post-retry output diverged from single-engine run")
+	}
+	var sawRetry bool
+	for _, ev := range events {
+		if ev.Type == EventShardRetry {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatalf("no %s event emitted; events: %+v", EventShardRetry, events)
+	}
+}
+
+// TestCoordinatorBenchesDeadWorker pairs a permanently dead worker
+// with a healthy one: the dead worker must be benched after its
+// failure limit and the healthy worker must finish every shard, with
+// output still byte-identical.
+func TestCoordinatorBenchesDeadWorker(t *testing.T) {
+	req := smallRequest("nl2sva-human")
+	wantEnc, _ := single(t, req)
+
+	fleet := []Runner{&deadRunner{name: "dead"}, NewLocalRunner("alive", task.NewEngine(engine.Config{}))}
+	var benched bool
+	c, err := New(fleet, Options{Shards: 4, Progress: func(ev Event) {
+		if ev.Type == EventWorkerDown && ev.Worker == "dead" {
+			benched = true
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !benched {
+		t.Fatalf("dead worker was never benched")
+	}
+	gotEnc, err := res.Run.Report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotEnc, wantEnc) {
+		t.Fatalf("output diverged with a dead worker in the fleet")
+	}
+}
+
+// TestCoordinatorFailsWhenFleetDies demands a clean error — not a
+// hang — when every worker is dead.
+func TestCoordinatorFailsWhenFleetDies(t *testing.T) {
+	c, err := New([]Runner{&deadRunner{name: "a"}, &deadRunner{name: "b"}}, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background(), smallRequest("nl2sva-human"))
+	if err == nil {
+		t.Fatal("run over a dead fleet succeeded")
+	}
+	if !strings.Contains(err.Error(), "healthy") && !strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("unhelpful fleet-death error: %v", err)
+	}
+}
+
+// TestCoordinatorCancellation cancels mid-run and expects ctx.Err().
+func TestCoordinatorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := 0
+	c, err := New(Loopback(2, engine.Config{}), Options{Progress: func(ev Event) {
+		if ev.Type == EventJob {
+			if jobs++; jobs == 2 {
+				cancel()
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := smallRequest("nl2sva-human-passk")
+	if _, err := c.Run(ctx, req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+}
+
+// TestCoordinatorForwardsJobProgress checks merged per-job streaming:
+// every evaluation job surfaces exactly once across the fleet.
+func TestCoordinatorForwardsJobProgress(t *testing.T) {
+	var jobs int
+	c, err := New(Loopback(3, engine.Config{}), Options{Progress: func(ev Event) {
+		if ev.Type == EventJob {
+			jobs++
+			if ev.Job == nil || ev.Job.Task != "nl2sva-human" || ev.Worker == "" {
+				t.Errorf("malformed job event: %+v", ev)
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := smallRequest("nl2sva-human")
+	res, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 models x 6 instances x 1 sample
+	if want := 12; jobs != want || res.Run.Stats.Jobs != want {
+		t.Fatalf("forwarded %d job events, stats %d, want %d", jobs, res.Run.Stats.Jobs, want)
+	}
+}
+
+// TestPlanShards pins the planner: shardable tasks split exactly n
+// ways, grid-less tasks collapse to one slice, bad requests fail fast.
+func TestPlanShards(t *testing.T) {
+	plan, err := PlanShards(task.Request{Task: "nl2sva-human"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 4 {
+		t.Fatalf("planned %d shards, want 4", len(plan.Shards))
+	}
+	for i, sub := range plan.Shards {
+		want := engine.Shard{Index: i, Count: 4}
+		if sub.Options.Shard != want {
+			t.Fatalf("shard %d got slice %v", i, sub.Options.Shard)
+		}
+	}
+	plan, err = PlanShards(task.Request{Task: "dataset-stats"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 1 {
+		t.Fatalf("grid-less task planned %d shards, want 1", len(plan.Shards))
+	}
+	if _, err := PlanShards(task.Request{Task: "no-such-task"}, 2); err == nil {
+		t.Fatal("unknown task planned")
+	}
+	if _, err := PlanShards(task.Request{Task: "nl2sva-human"}, 0); err == nil {
+		t.Fatal("zero shard count planned")
+	}
+}

@@ -1,0 +1,49 @@
+package dist
+
+import (
+	"fmt"
+
+	"fveval/internal/engine"
+	"fveval/internal/task"
+)
+
+// Plan is the shard decomposition of one registry request: n
+// shard-scoped requests whose Options.Shard slices tile the instance
+// axis exactly once. Any complete set of partials produced from a plan
+// recombines via task.MergeReports into the unsharded report.
+type Plan struct {
+	// Task is the resolved registry name.
+	Task string
+	// Shards are the shard-scoped requests; entry i carries
+	// Options.Shard = {Index: i, Count: len(Shards)}.
+	Shards []task.Request
+}
+
+// PlanShards splits a registry request into n shard-scoped requests.
+// Grid-less tasks (static tables, pre-rendered figures) collapse to a
+// single shard — splitting them buys nothing and the planner knows it
+// from the spec. The request is validated here, so a coordinator can
+// fail fast before touching any worker.
+func PlanShards(req task.Request, n int) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: shard count %d out of range", n)
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := task.Lookup(req.Task)
+	if err != nil {
+		return nil, err
+	}
+	if !spec.Shardable() {
+		n = 1
+	}
+	shards := make([]task.Request, n)
+	for i := range shards {
+		sub := req
+		sub.Progress = nil // runners attach their own forwarding observer
+		sub.Options.Shard = engine.Shard{Index: i, Count: n}
+		shards[i] = sub
+	}
+	return &Plan{Task: spec.Name, Shards: shards}, nil
+}

@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+
+	"fveval/internal/engine"
+	"fveval/internal/task"
+)
+
+// Runner is one evaluation endpoint the coordinator can hand a shard
+// to: an in-process engine (LocalRunner, Loopback) or a remote fvevald
+// worker (HTTPRunner). Run executes one shard-scoped request and
+// returns its partial; implementations must honor ctx cancellation
+// and forward req.Progress events if they can observe them.
+//
+// Runners must be safe for the coordinator to call from one goroutine
+// at a time; they need not support concurrent Run calls.
+type Runner interface {
+	// Name identifies the worker in progress events and errors.
+	Name() string
+	// Run evaluates one shard and returns its raw partial report.
+	Run(ctx context.Context, req task.Request) (*task.Partial, error)
+}
+
+// LocalRunner drives an in-process task engine — the loopback worker
+// for single-machine parallelism and for tests.
+type LocalRunner struct {
+	name string
+	eng  *task.Engine
+}
+
+// NewLocalRunner wraps a task engine as a worker.
+func NewLocalRunner(name string, eng *task.Engine) *LocalRunner {
+	return &LocalRunner{name: name, eng: eng}
+}
+
+// Name identifies the worker.
+func (r *LocalRunner) Name() string { return r.name }
+
+// Run evaluates one shard on the wrapped engine.
+func (r *LocalRunner) Run(ctx context.Context, req task.Request) (*task.Partial, error) {
+	return r.eng.RunPartial(ctx, req)
+}
+
+// Loopback builds n isolated in-process workers, each with its own
+// engine and memo pool — single-machine parallelism with no
+// shared-memory coupling, so a loopback fleet behaves exactly like n
+// separate fvevald processes (minus the HTTP hop).
+func Loopback(n int, cfg engine.Config) []Runner {
+	runners := make([]Runner, n)
+	for i := range runners {
+		runners[i] = NewLocalRunner(fmt.Sprintf("local-%d", i), task.NewEngine(cfg))
+	}
+	return runners
+}

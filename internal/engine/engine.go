@@ -402,13 +402,16 @@ func names(models []llm.Model) []string {
 	return out
 }
 
-// clip truncates to cfg.Limit, then keeps this shard's instances.
-func clip[T any](xs []T, cfg Config) []T {
+// clip truncates to cfg.Limit, then keeps this shard's instances; it
+// also returns the post-limit pre-shard count, the grid's global
+// instance-axis length.
+func clip[T any](xs []T, cfg Config) ([]T, int) {
 	if cfg.Limit > 0 && cfg.Limit < len(xs) {
 		xs = xs[:cfg.Limit]
 	}
+	total := len(xs)
 	if !cfg.Shard.Enabled() {
-		return xs
+		return xs, total
 	}
 	var out []T
 	for i, x := range xs {
@@ -416,7 +419,7 @@ func clip[T any](xs []T, cfg Config) []T {
 			out = append(out, x)
 		}
 	}
-	return out
+	return out, total
 }
 
 // passKSamples resolves the sample count for pass@k runs (the paper
@@ -430,96 +433,112 @@ func (e *Engine) passKSamples() int {
 
 // ---- NL2SVA-Human -------------------------------------------------------
 
-// NL2SVAHuman evaluates models with greedy decoding (Table 1).
-func (e *Engine) NL2SVAHuman(ctx context.Context, models []llm.Model, obs Observer) ([]core.ModelReport, error) {
+// HumanGrid evaluates the NL2SVA-Human grid and returns the raw
+// outcome lattice with shard provenance; sampled draws passKSamples
+// per instance, otherwise one greedy sample.
+func (e *Engine) HumanGrid(ctx context.Context, models []llm.Model, sampled bool, obs Observer) (*Grid, error) {
 	insts, err := core.LoadHuman()
 	if err != nil {
 		return nil, err
 	}
-	insts = clip(insts, e.cfg)
-	outs, err := e.runGrid(ctx, names(models), len(insts), 1, func(j job) core.Outcome {
-		in := insts[j.inst]
+	kept, total := clip(insts, e.cfg)
+	n := 1
+	if sampled {
+		n = e.passKSamples()
+	}
+	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
+		in := kept[j.inst]
 		p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
-		resp := models[j.model].Generate(p, 0)
+		resp := models[j.model].Generate(p, j.sample)
 		return e.judgeTranslation(datasetHuman, in.ID, resp, in.Reference, in.Sigs)
 	}, obs)
 	if err != nil {
 		return nil, err
 	}
-	var reports []core.ModelReport
-	for m, model := range models {
-		reports = append(reports, core.Aggregate(model.Name(), outs[m]))
+	return e.newGrid(names(models), total, len(kept), n, outs), nil
+}
+
+// NL2SVAHuman evaluates models with greedy decoding (Table 1).
+func (e *Engine) NL2SVAHuman(ctx context.Context, models []llm.Model, obs Observer) ([]core.ModelReport, error) {
+	g, err := e.HumanGrid(ctx, models, false, obs)
+	if err != nil {
+		return nil, err
 	}
-	return reports, nil
+	return g.ModelReports(), nil
 }
 
 // NL2SVAHumanPassK evaluates pass@k with multiple samples (Table 2).
 func (e *Engine) NL2SVAHumanPassK(ctx context.Context, models []llm.Model, ks []int, obs Observer) ([]core.PassKReport, error) {
-	insts, err := core.LoadHuman()
+	g, err := e.HumanGrid(ctx, models, true, obs)
 	if err != nil {
 		return nil, err
 	}
-	insts = clip(insts, e.cfg)
-	n := e.passKSamples()
-	outs, err := e.runGrid(ctx, names(models), len(insts), n, func(j job) core.Outcome {
-		in := insts[j.inst]
-		p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
-		resp := models[j.model].Generate(p, j.sample)
-		return e.judgeTranslation(datasetHuman, in.ID, resp, in.Reference, in.Sigs)
-	}, obs)
-	if err != nil {
-		return nil, err
-	}
-	var reports []core.PassKReport
-	for m, model := range models {
-		reports = append(reports, core.AggregatePassK(model.Name(), len(insts), n, ks, outs[m]))
-	}
-	return reports, nil
+	return g.PassKReports(ks), nil
 }
 
 // ---- NL2SVA-Machine -----------------------------------------------------
 
-// NL2SVAMachine evaluates the machine benchmark at a shot count
-// (Table 3 columns).
-func (e *Engine) NL2SVAMachine(ctx context.Context, models []llm.Model, shots, count int, obs Observer) ([]core.ModelReport, error) {
-	insts := clip(core.LoadMachine(count), e.cfg)
-	outs, err := e.runGrid(ctx, names(models), len(insts), 1, func(j job) core.Outcome {
-		in := insts[j.inst]
+// MachineGrid evaluates the NL2SVA-Machine grid at a shot count and
+// returns the raw outcome lattice with shard provenance; sampled draws
+// passKSamples per instance, otherwise one greedy sample.
+func (e *Engine) MachineGrid(ctx context.Context, models []llm.Model, shots, count int, sampled bool, obs Observer) (*Grid, error) {
+	kept, total := clip(core.LoadMachine(count), e.cfg)
+	n := 1
+	if sampled {
+		n = e.passKSamples()
+	}
+	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
+		in := kept[j.inst]
 		p := llm.BuildMachinePrompt(in.ID, in.NL, shots, in.Reference)
-		resp := models[j.model].Generate(p, 0)
-		return e.judgeTranslation(datasetMachine, in.ID, resp, in.Reference, in.Sigs)
-	}, obs)
-	if err != nil {
-		return nil, err
-	}
-	var reports []core.ModelReport
-	for m, model := range models {
-		reports = append(reports, core.Aggregate(model.Name(), outs[m]))
-	}
-	return reports, nil
-}
-
-// NL2SVAMachinePassK evaluates machine pass@k at 3-shot (Table 4).
-func (e *Engine) NL2SVAMachinePassK(ctx context.Context, models []llm.Model, ks []int, count int, obs Observer) ([]core.PassKReport, error) {
-	insts := clip(core.LoadMachine(count), e.cfg)
-	n := e.passKSamples()
-	outs, err := e.runGrid(ctx, names(models), len(insts), n, func(j job) core.Outcome {
-		in := insts[j.inst]
-		p := llm.BuildMachinePrompt(in.ID, in.NL, 3, in.Reference)
 		resp := models[j.model].Generate(p, j.sample)
 		return e.judgeTranslation(datasetMachine, in.ID, resp, in.Reference, in.Sigs)
 	}, obs)
 	if err != nil {
 		return nil, err
 	}
-	var reports []core.PassKReport
-	for m, model := range models {
-		reports = append(reports, core.AggregatePassK(model.Name(), len(insts), n, ks, outs[m]))
+	return e.newGrid(names(models), total, len(kept), n, outs), nil
+}
+
+// NL2SVAMachine evaluates the machine benchmark at a shot count
+// (Table 3 columns).
+func (e *Engine) NL2SVAMachine(ctx context.Context, models []llm.Model, shots, count int, obs Observer) ([]core.ModelReport, error) {
+	g, err := e.MachineGrid(ctx, models, shots, count, false, obs)
+	if err != nil {
+		return nil, err
 	}
-	return reports, nil
+	return g.ModelReports(), nil
+}
+
+// NL2SVAMachinePassK evaluates machine pass@k at 3-shot (Table 4).
+func (e *Engine) NL2SVAMachinePassK(ctx context.Context, models []llm.Model, ks []int, count int, obs Observer) ([]core.PassKReport, error) {
+	g, err := e.MachineGrid(ctx, models, 3, count, true, obs)
+	if err != nil {
+		return nil, err
+	}
+	return g.PassKReports(ks), nil
 }
 
 // ---- Design2SVA ---------------------------------------------------------
+
+// DesignGrid evaluates the Design2SVA grid for one design category
+// (always sampled: the paper draws passKSamples per instance) and
+// returns the raw outcome lattice with shard provenance.
+func (e *Engine) DesignGrid(ctx context.Context, models []llm.Model, kind string, obs Observer) (*Grid, error) {
+	kept, total := clip(rtlgen.Sweep96(kind), e.cfg)
+	n := e.passKSamples()
+	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
+		inst := kept[j.inst]
+		p := llm.BuildDesignPrompt(inst)
+		resp := models[j.model].Generate(p, j.sample)
+		code := llm.ExtractCode(resp)
+		c := e.judgeDesignMemo(kind, inst, code)
+		return core.Outcome{InstanceID: inst.ID, Response: code, Syntax: c.syntax, Full: c.proven}
+	}, obs)
+	if err != nil {
+		return nil, err
+	}
+	return e.newGrid(names(models), total, len(kept), n, outs), nil
+}
 
 // Design2SVA evaluates models on a design category with n samples per
 // instance (Table 5 halves). Outcome.Full carries "proven".
@@ -533,24 +552,11 @@ func (e *Engine) Design2SVAKs(ctx context.Context, models []llm.Model, kind stri
 }
 
 func (e *Engine) design2SVA(ctx context.Context, models []llm.Model, kind string, ks []int, obs Observer) ([]core.DesignReport, error) {
-	insts := clip(rtlgen.Sweep96(kind), e.cfg)
-	n := e.passKSamples()
-	outs, err := e.runGrid(ctx, names(models), len(insts), n, func(j job) core.Outcome {
-		inst := insts[j.inst]
-		p := llm.BuildDesignPrompt(inst)
-		resp := models[j.model].Generate(p, j.sample)
-		code := llm.ExtractCode(resp)
-		c := e.judgeDesignMemo(kind, inst, code)
-		return core.Outcome{InstanceID: inst.ID, Response: code, Syntax: c.syntax, Full: c.proven}
-	}, obs)
+	g, err := e.DesignGrid(ctx, models, kind, obs)
 	if err != nil {
 		return nil, err
 	}
-	var reports []core.DesignReport
-	for m, model := range models {
-		reports = append(reports, core.AggregateDesign(model.Name(), kind, len(insts), n, ks, outs[m]))
-	}
-	return reports, nil
+	return g.DesignReports(kind, ks), nil
 }
 
 // judgeDesignMemo memoizes core.JudgeDesign per (kind, instance,

@@ -119,38 +119,38 @@ func (e *Engine) CacheStats() equiv.CacheStats { return e.base.CacheStats() }
 // FormalStats snapshots the shared formal-backend counters.
 func (e *Engine) FormalStats() formal.Snapshot { return e.base.FormalStats() }
 
-// Run executes one registry task: the request is validated against
-// the task's spec, the evaluation runs on this engine's memo pool
-// under the request's options, progress streams to req.Progress, and
-// the unified report comes back with run metadata. Cancelling ctx
-// aborts the evaluation and returns ctx.Err().
-func (e *Engine) Run(ctx context.Context, req Request) (*Run, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// prepare validates a request against the registry and resolves the
+// engine it should run on (the base engine, or a derived one sharing
+// the memo pool when the request carries options).
+func (e *Engine) prepare(req Request) (*Spec, Params, *engine.Engine, error) {
 	spec, err := Lookup(req.Task)
 	if err != nil {
-		return nil, err
+		return nil, Params{}, nil, err
 	}
 	p, err := spec.resolve(req.Params)
 	if err != nil {
-		return nil, fmt.Errorf("task %s: %w", spec.Name, err)
+		return nil, Params{}, nil, fmt.Errorf("task %s: %w", spec.Name, err)
 	}
 	eng := e.base
 	if req.Options != (engine.Config{}) {
 		if eng, err = e.base.Reconfigure(req.Options); err != nil {
-			return nil, err
+			return nil, Params{}, nil, err
 		}
 	}
+	return spec, p, eng, nil
+}
 
+// execute runs a prepared task's grids with progress streaming and
+// stat-delta accounting — the shared body of Run and RunPartial.
+func (e *Engine) execute(ctx context.Context, spec *Spec, p Params, eng *engine.Engine, progress func(Event)) ([]GridGroup, Stats, error) {
 	// jobs is only touched from each grid's collector goroutine, and
 	// grids within one run execute sequentially, so no lock is needed.
 	jobs := 0
 	obs := func(group string) engine.Observer {
 		return func(pr engine.Progress) {
 			jobs++
-			if req.Progress != nil {
-				req.Progress(Event{
+			if progress != nil {
+				progress(Event{
 					Task: spec.Name, Group: group,
 					Done: pr.Done, Total: pr.Total,
 					Model: pr.Model, Instance: pr.InstanceID, Sample: pr.Sample,
@@ -162,28 +162,82 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Run, error) {
 
 	cache0, formal0 := eng.CacheStats(), eng.FormalStats()
 	start := time.Now()
-	groups, text, err := spec.run(ctx, eng, p, obs)
+	var groups []GridGroup
+	if spec.run != nil {
+		var err error
+		groups, err = spec.run(ctx, eng, p, obs)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	cache1, formal1 := eng.CacheStats(), eng.FormalStats()
+	return groups, Stats{
+		Jobs:   jobs,
+		WallMS: time.Since(start).Milliseconds(),
+		Cache: equiv.CacheStats{
+			Hits:   cache1.Hits - cache0.Hits,
+			Misses: cache1.Misses - cache0.Misses,
+		},
+		Formal: subSnapshot(formal1, formal0),
+	}, nil
+}
+
+// Run executes one registry task: the request is validated against
+// the task's spec, the evaluation runs on this engine's memo pool
+// under the request's options, progress streams to req.Progress, and
+// the unified report comes back with run metadata. Cancelling ctx
+// aborts the evaluation and returns ctx.Err().
+func (e *Engine) Run(ctx context.Context, req Request) (*Run, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec, p, eng, err := e.prepare(req)
 	if err != nil {
 		return nil, err
 	}
-	cache1, formal1 := eng.CacheStats(), eng.FormalStats()
-
+	groups, stats, err := e.execute(ctx, spec, p, eng, req.Progress)
+	if err != nil {
+		return nil, err
+	}
+	report, err := buildReport(spec, p, groups)
+	if err != nil {
+		return nil, err
+	}
 	return &Run{
 		Request: Request{Task: spec.Name, Params: p, Options: eng.Config()},
-		Report: &Report{
-			Task: spec.Name, Title: spec.Title,
-			Table: spec.Table, Figure: spec.Figure, Kind: spec.Kind,
-			Params: p, Groups: groups, Text: text,
-		},
-		Stats: Stats{
-			Jobs:   jobs,
-			WallMS: time.Since(start).Milliseconds(),
-			Cache: equiv.CacheStats{
-				Hits:   cache1.Hits - cache0.Hits,
-				Misses: cache1.Misses - cache0.Misses,
-			},
-			Formal: subSnapshot(formal1, formal0),
-		},
+		Report:  report,
+		Stats:   stats,
+	}, nil
+}
+
+// buildReport aggregates raw grid groups into the unified Report —
+// the single fold path shared by local runs and MergeReports, which
+// is what makes merged output byte-identical to unsharded output.
+func buildReport(spec *Spec, p Params, groups []GridGroup) (*Report, error) {
+	var rgs []Group
+	for _, gg := range groups {
+		var rows []Row
+		switch spec.Kind {
+		case KindPassK:
+			rows = rowsFromPassKReports(gg.Grid.PassKReports(p.Ks))
+		case KindDesign:
+			rows = rowsFromDesignReports(gg.Grid.DesignReports(gg.Name, p.Ks))
+		default: // greedy, shots, and gridded figures fold to means
+			rows = rowsFromModelReports(gg.Grid.ModelReports())
+		}
+		rgs = append(rgs, Group{Name: gg.Name, Rows: rows})
+	}
+	text := ""
+	if spec.text != nil {
+		var err error
+		if text, err = spec.text(p, rgs); err != nil {
+			return nil, err
+		}
+	}
+	return &Report{
+		Task: spec.Name, Title: spec.Title,
+		Table: spec.Table, Figure: spec.Figure, Kind: spec.Kind,
+		Params: p, Groups: rgs, Text: text,
 	}, nil
 }
 

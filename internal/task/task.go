@@ -80,11 +80,28 @@ func (p Params) merge(over Params) Params {
 	return p
 }
 
-// runFunc executes one task: it receives the engine, the resolved
-// parameters, and an observer factory keyed by group name (multi-part
-// tasks run one grid per group), and returns the report groups and/or
-// rendered text.
-type runFunc func(ctx context.Context, eng *engine.Engine, p Params, obs func(group string) engine.Observer) ([]Group, string, error)
+// GridGroup is one sub-setting's raw outcome lattice ("0-shot",
+// "pipeline", ...; single-setting tasks use one unnamed group). It is
+// the unit a shard ships home: grids carry slot provenance, so
+// engine.MergeGrids can reassemble the full instance axis and the
+// shared report-building path folds it exactly as a local run would.
+type GridGroup struct {
+	Name string       `json:"name,omitempty"`
+	Grid *engine.Grid `json:"grid"`
+}
+
+// runFunc evaluates one task's grids: it receives the engine, the
+// resolved parameters, and an observer factory keyed by group name
+// (multi-part tasks run one grid per group), and returns the raw
+// outcome lattice per group. nil for grid-less tasks (static datasets
+// and pre-rendered figures), which only have a text renderer.
+type runFunc func(ctx context.Context, eng *engine.Engine, p Params, obs func(group string) engine.Observer) ([]GridGroup, error)
+
+// textFunc renders a task's textual artifact from the resolved
+// parameters and the aggregated report groups (empty for grid-less
+// tasks). It runs after aggregation — on the coordinator for merged
+// runs — so sharded text output is identical to a local run's.
+type textFunc func(p Params, groups []Group) (string, error)
 
 // Spec describes one registered task.
 type Spec struct {
@@ -103,8 +120,15 @@ type Spec struct {
 	// Defaults are the paper's parameters for this task.
 	Defaults Params `json:"defaults"`
 
-	run runFunc
+	run  runFunc
+	text textFunc
 }
+
+// Shardable reports whether the task evaluates a model grid, i.e.
+// whether splitting its instance axis across workers does any good.
+// Grid-less tasks (static tables, pre-rendered figures) run whole on
+// a single worker.
+func (s Spec) Shardable() bool { return s.run != nil }
 
 func (s *Spec) accepts(field string) bool {
 	for _, f := range s.Accepts {
@@ -264,6 +288,14 @@ func ByFigure(n int) (*Spec, error) {
 	return nil, fmt.Errorf("task: no task reproduces figure %d", n)
 }
 
+// singleGrid wraps one unnamed grid as the task's only group.
+func singleGrid(g *engine.Grid, err error) ([]GridGroup, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []GridGroup{{Grid: g}}, nil
+}
+
 func buildRegistry() []*Spec {
 	return []*Spec{
 		{
@@ -273,12 +305,8 @@ func buildRegistry() []*Spec {
 			Kind:     KindGreedy,
 			Accepts:  []string{"models"},
 			Defaults: Params{Models: modelNames(llm.Models())},
-			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]Group, string, error) {
-				reports, err := eng.NL2SVAHuman(ctx, resolveModels(p.Models), obs(""))
-				if err != nil {
-					return nil, "", err
-				}
-				return []Group{{Rows: rowsFromModelReports(reports)}}, "", nil
+			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]GridGroup, error) {
+				return singleGrid(eng.HumanGrid(ctx, resolveModels(p.Models), false, obs("")))
 			},
 		},
 		{
@@ -288,12 +316,8 @@ func buildRegistry() []*Spec {
 			Kind:     KindPassK,
 			Accepts:  []string{"models", "ks"},
 			Defaults: Params{Models: passKFleet(), Ks: []int{1, 3, 5}},
-			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]Group, string, error) {
-				reports, err := eng.NL2SVAHumanPassK(ctx, resolveModels(p.Models), p.Ks, obs(""))
-				if err != nil {
-					return nil, "", err
-				}
-				return []Group{{Rows: rowsFromPassKReports(reports)}}, "", nil
+			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]GridGroup, error) {
+				return singleGrid(eng.HumanGrid(ctx, resolveModels(p.Models), true, obs("")))
 			},
 		},
 		{
@@ -303,17 +327,17 @@ func buildRegistry() []*Spec {
 			Kind:     KindShots,
 			Accepts:  []string{"models", "shots", "count"},
 			Defaults: Params{Models: modelNames(llm.Models()), Shots: []int{0, 3}, Count: 300},
-			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]Group, string, error) {
-				var groups []Group
+			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]GridGroup, error) {
+				var groups []GridGroup
 				for _, sh := range p.Shots {
 					name := fmt.Sprintf("%d-shot", sh)
-					reports, err := eng.NL2SVAMachine(ctx, resolveModels(p.Models), sh, p.Count, obs(name))
+					g, err := eng.MachineGrid(ctx, resolveModels(p.Models), sh, p.Count, false, obs(name))
 					if err != nil {
-						return nil, "", err
+						return nil, err
 					}
-					groups = append(groups, Group{Name: name, Rows: rowsFromModelReports(reports)})
+					groups = append(groups, GridGroup{Name: name, Grid: g})
 				}
-				return groups, "", nil
+				return groups, nil
 			},
 		},
 		{
@@ -323,12 +347,8 @@ func buildRegistry() []*Spec {
 			Kind:     KindPassK,
 			Accepts:  []string{"models", "ks", "count"},
 			Defaults: Params{Models: passKFleet(), Ks: []int{1, 3, 5}, Count: 300},
-			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]Group, string, error) {
-				reports, err := eng.NL2SVAMachinePassK(ctx, resolveModels(p.Models), p.Ks, p.Count, obs(""))
-				if err != nil {
-					return nil, "", err
-				}
-				return []Group{{Rows: rowsFromPassKReports(reports)}}, "", nil
+			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]GridGroup, error) {
+				return singleGrid(eng.MachineGrid(ctx, resolveModels(p.Models), 3, p.Count, true, obs("")))
 			},
 		},
 		{
@@ -338,16 +358,16 @@ func buildRegistry() []*Spec {
 			Kind:     KindDesign,
 			Accepts:  []string{"models", "ks", "kinds"},
 			Defaults: Params{Models: modelNames(llm.DesignModels()), Ks: []int{1, 5}, Kinds: []string{"pipeline", "fsm"}},
-			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]Group, string, error) {
-				var groups []Group
+			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]GridGroup, error) {
+				var groups []GridGroup
 				for _, kind := range p.Kinds {
-					reports, err := eng.Design2SVAKs(ctx, resolveModels(p.Models), kind, p.Ks, obs(kind))
+					g, err := eng.DesignGrid(ctx, resolveModels(p.Models), kind, obs(kind))
 					if err != nil {
-						return nil, "", err
+						return nil, err
 					}
-					groups = append(groups, Group{Name: kind, Rows: rowsFromDesignReports(reports)})
+					groups = append(groups, GridGroup{Name: kind, Grid: g})
 				}
-				return groups, "", nil
+				return groups, nil
 			},
 		},
 		{
@@ -355,8 +375,8 @@ func buildRegistry() []*Spec {
 			Title: "NL2SVA-Human dataset composition (Table 6)",
 			Table: 6,
 			Kind:  KindStatic,
-			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]Group, string, error) {
-				return nil, core.FormatTable6(), nil
+			text: func(p Params, groups []Group) (string, error) {
+				return core.FormatTable6(), nil
 			},
 		},
 		{
@@ -364,9 +384,8 @@ func buildRegistry() []*Spec {
 			Title:  "NL2SVA-Human token-length distributions (Figure 2)",
 			Figure: 2,
 			Kind:   KindFigure,
-			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]Group, string, error) {
-				text, err := core.Figure2()
-				return nil, text, err
+			text: func(p Params, groups []Group) (string, error) {
+				return core.Figure2()
 			},
 		},
 		{
@@ -376,8 +395,8 @@ func buildRegistry() []*Spec {
 			Kind:     KindFigure,
 			Accepts:  []string{"count"},
 			Defaults: Params{Count: 300},
-			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]Group, string, error) {
-				return nil, core.Figure3(p.Count), nil
+			text: func(p Params, groups []Group) (string, error) {
+				return core.Figure3(p.Count), nil
 			},
 		},
 		{
@@ -385,8 +404,8 @@ func buildRegistry() []*Spec {
 			Title:  "Synthetic RTL token-length distributions (Figure 4)",
 			Figure: 4,
 			Kind:   KindFigure,
-			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]Group, string, error) {
-				return nil, core.Figure4(), nil
+			text: func(p Params, groups []Group) (string, error) {
+				return core.Figure4(), nil
 			},
 		},
 		{
@@ -396,12 +415,15 @@ func buildRegistry() []*Spec {
 			Kind:     KindFigure,
 			Accepts:  []string{"models"},
 			Defaults: Params{Models: []string{"gpt-4o", "llama-3.1-70b"}},
-			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]Group, string, error) {
-				reports, err := eng.NL2SVAHuman(ctx, resolveModels(p.Models), obs(""))
-				if err != nil {
-					return nil, "", err
+			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]GridGroup, error) {
+				return singleGrid(eng.HumanGrid(ctx, resolveModels(p.Models), false, obs("")))
+			},
+			text: func(p Params, groups []Group) (string, error) {
+				var reports []core.ModelReport
+				if len(groups) > 0 {
+					reports = groups[0].ModelReports()
 				}
-				return []Group{{Rows: rowsFromModelReports(reports)}}, core.Figure6(reports), nil
+				return core.Figure6(reports), nil
 			},
 		},
 	}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Cluster smoke: launch two fvevald workers on localhost, drive a
+# distributed run through fvevalctl — including a dead-worker retry
+# and a 4-engine loopback fleet — and demand byte-identical output
+# against the single-process run. Finishes by SIGINT-ing the workers
+# and checking they drain and exit 0.
+#
+# Run via `make cluster-smoke`; CI runs the same script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT1=${CLUSTER_SMOKE_PORT1:-8191}
+PORT2=${CLUSTER_SMOKE_PORT2:-8192}
+DEAD_PORT=${CLUSTER_SMOKE_DEAD_PORT:-8199}
+
+BIN=$(mktemp -d)
+W1=""
+W2=""
+cleanup() {
+  [ -n "$W1" ] && kill "$W1" 2>/dev/null || true
+  [ -n "$W2" ] && kill "$W2" 2>/dev/null || true
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+echo "cluster-smoke: building fveval, fvevald, fvevalctl"
+go build -o "$BIN" ./cmd/fveval ./cmd/fvevald ./cmd/fvevalctl
+
+"$BIN/fvevald" -addr "127.0.0.1:$PORT1" >"$BIN/w1.log" 2>&1 &
+W1=$!
+"$BIN/fvevald" -addr "127.0.0.1:$PORT2" >"$BIN/w2.log" 2>&1 &
+W2=$!
+
+wait_ready() {
+  local port=$1
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+      exec 3>&- 3<&-
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "cluster-smoke: worker on port $port never came up" >&2
+  cat "$BIN"/w*.log >&2
+  exit 1
+}
+wait_ready "$PORT1"
+wait_ready "$PORT2"
+
+echo "cluster-smoke: single-process reference run"
+"$BIN/fveval" -table 1 2>/dev/null >"$BIN/single.out"
+
+echo "cluster-smoke: 2 HTTP workers"
+"$BIN/fvevalctl" run -task table1 \
+  -workers "http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2" \
+  2>/dev/null >"$BIN/dist2.out"
+diff "$BIN/single.out" "$BIN/dist2.out"
+
+echo "cluster-smoke: 2 HTTP workers + 1 dead worker (failure + retry)"
+"$BIN/fvevalctl" run -task table1 -shards 4 \
+  -workers "http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2,http://127.0.0.1:$DEAD_PORT" \
+  2>"$BIN/retry.err" >"$BIN/dist3.out"
+diff "$BIN/single.out" "$BIN/dist3.out"
+# the dead worker must have produced at least one retried attempt
+grep -qE '\([1-9][0-9]* retried\)' "$BIN/retry.err"
+
+echo "cluster-smoke: 4 loopback workers"
+"$BIN/fvevalctl" run -task table1 -local 4 2>/dev/null >"$BIN/loop4.out"
+diff "$BIN/single.out" "$BIN/loop4.out"
+
+echo "cluster-smoke: graceful shutdown (SIGINT drains, exit 0)"
+kill -INT "$W1"
+wait "$W1"
+kill -INT "$W2"
+wait "$W2"
+W1=""
+W2=""
+grep -q "drained" "$BIN/w1.log"
+grep -q "drained" "$BIN/w2.log"
+
+echo "cluster-smoke: OK — distributed output byte-identical across 2 HTTP workers, dead-worker retry, and 4 loopback workers"
