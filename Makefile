@@ -22,15 +22,23 @@ cluster-smoke:
 	./scripts/cluster_smoke.sh
 
 # bench regenerates every table/figure once and refreshes the
-# BENCH_tables.json perf-trajectory artifact (benchmark -> ns/op, with
-# the prior run kept as baseline_ns_per_op for before/after diffs).
+# BENCH_tables.json perf-trajectory artifact (benchmark -> ns/op plus
+# schema-v4 metrics such as the prefilter hit rate, with the prior run
+# kept as baseline_ns_per_op for before/after diffs). The benchjson
+# -gate-pct flag doubles as the regression guard: any tableN entry
+# more than BENCH_GATE_PCT percent slower than the committed baseline
+# fails the target (and the CI job) after writing the artifact.
+BENCH_GATE_PCT ?= 20
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out || \
 		{ cat bench.out; rm -f bench.out; exit 1; }
 	cat bench.out
-	$(GO) run ./cmd/benchjson -prev BENCH_tables.json < bench.out > BENCH_tables.json.tmp
-	mv BENCH_tables.json.tmp BENCH_tables.json
-	rm -f bench.out
+	@gate_rc=0; \
+	$(GO) run ./cmd/benchjson -prev BENCH_tables.json -gate-pct $(BENCH_GATE_PCT) < bench.out > BENCH_tables.json.tmp || gate_rc=$$?; \
+	mv BENCH_tables.json.tmp BENCH_tables.json; \
+	rm -f bench.out; \
+	exit $$gate_rc
 
 lint:
 	@unformatted="$$(gofmt -l .)"; \

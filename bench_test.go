@@ -12,12 +12,14 @@ package fveval
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"fveval/internal/core"
 	"fveval/internal/dist"
 	"fveval/internal/engine"
 	"fveval/internal/equiv"
+	"fveval/internal/formal"
 	"fveval/internal/gen/rtlgen"
 	"fveval/internal/gen/svagen"
 	"fveval/internal/llm"
@@ -28,7 +30,35 @@ import (
 	"fveval/internal/task"
 )
 
+// isolate shields a benchmark from its predecessors' process state:
+// the full suite runs dozens of table regenerations in one process,
+// and without a boundary a benchmark's measured time varies with the
+// previous one's leftovers — retained memo ASTs inflating every GC
+// mark phase, warm caches turning later benchmarks into partial
+// reruns. Each benchmark measures a cold, collected process.
+func isolate(b *testing.B) {
+	core.ResetMemos()
+	svagen.ResetCache()
+	runtime.GC()
+	b.ResetTimer()
+}
+
+// reportPrefilter attaches the simulation-prefilter hit rate (share of
+// formal decision points discharged without a SAT call) as a benchmark
+// metric, so BENCH_tables.json (schema v4) tracks it next to ns/op.
+func reportPrefilter(b *testing.B, snaps ...formal.Snapshot) {
+	var refuted, solves int64
+	for _, s := range snaps {
+		refuted += s.Sim.Refutations
+		solves += s.Solves
+	}
+	if refuted+solves > 0 {
+		b.ReportMetric(float64(refuted)/float64(refuted+solves), "prefilter-hit-rate")
+	}
+}
+
 func BenchmarkTable1NL2SVAHuman(b *testing.B) {
+	isolate(b)
 	for i := 0; i < b.N; i++ {
 		reports, err := engine.RunNL2SVAHuman(llm.Models(), engine.Config{})
 		if err != nil {
@@ -46,6 +76,7 @@ func BenchmarkTable2HumanPassK(b *testing.B) {
 		llm.ModelByName("gemini-1.5-flash"),
 		llm.ModelByName("llama-3.1-70b"),
 	}
+	isolate(b)
 	for i := 0; i < b.N; i++ {
 		reports, err := engine.RunNL2SVAHumanPassK(models, []int{1, 3, 5}, engine.Config{Samples: 5, Workers: 8})
 		if err != nil {
@@ -58,19 +89,26 @@ func BenchmarkTable2HumanPassK(b *testing.B) {
 }
 
 func BenchmarkTable3NL2SVAMachine(b *testing.B) {
+	ctx := context.Background()
+	var snaps []formal.Snapshot
+	isolate(b)
 	for i := 0; i < b.N; i++ {
-		zero, err := engine.RunNL2SVAMachine(llm.Models(), 0, 300, engine.Config{})
+		e0 := engine.New(engine.Config{})
+		zero, err := e0.NL2SVAMachine(ctx, llm.Models(), 0, 300, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		three, err := engine.RunNL2SVAMachine(llm.Models(), 3, 300, engine.Config{})
+		e3 := engine.New(engine.Config{})
+		three, err := e3.NL2SVAMachine(ctx, llm.Models(), 3, 300, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
+		snaps = append(snaps, e0.FormalStats(), e3.FormalStats())
 		if i == 0 {
 			b.Log("\n" + core.FormatTable3(zero, three))
 		}
 	}
+	reportPrefilter(b, snaps...)
 }
 
 func BenchmarkTable4MachinePassK(b *testing.B) {
@@ -79,31 +117,44 @@ func BenchmarkTable4MachinePassK(b *testing.B) {
 		llm.ModelByName("gemini-1.5-flash"),
 		llm.ModelByName("llama-3.1-70b"),
 	}
+	ctx := context.Background()
+	var snaps []formal.Snapshot
+	isolate(b)
 	for i := 0; i < b.N; i++ {
-		reports, err := engine.RunNL2SVAMachinePassK(models, []int{1, 3, 5}, 300, engine.Config{Samples: 5, Workers: 8})
+		eng := engine.New(engine.Config{Samples: 5, Workers: 8})
+		reports, err := eng.NL2SVAMachinePassK(ctx, models, []int{1, 3, 5}, 300, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
+		snaps = append(snaps, eng.FormalStats())
 		if i == 0 {
 			b.Log("\n" + core.FormatTable4(reports))
 		}
 	}
+	reportPrefilter(b, snaps...)
 }
 
 func BenchmarkTable5Design2SVA(b *testing.B) {
+	ctx := context.Background()
+	var snaps []formal.Snapshot
+	isolate(b)
 	for i := 0; i < b.N; i++ {
-		pipe, err := engine.RunDesign2SVA(llm.DesignModels(), "pipeline", engine.Config{Samples: 5})
+		ep := engine.New(engine.Config{Samples: 5})
+		pipe, err := ep.Design2SVA(ctx, llm.DesignModels(), "pipeline", nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		fsm, err := engine.RunDesign2SVA(llm.DesignModels(), "fsm", engine.Config{Samples: 5})
+		ef := engine.New(engine.Config{Samples: 5})
+		fsm, err := ef.Design2SVA(ctx, llm.DesignModels(), "fsm", nil)
 		if err != nil {
 			b.Fatal(err)
 		}
+		snaps = append(snaps, ep.FormalStats(), ef.FormalStats())
 		if i == 0 {
 			b.Log("\n" + core.FormatTable5(pipe, fsm))
 		}
 	}
+	reportPrefilter(b, snaps...)
 }
 
 func BenchmarkTable6DatasetStats(b *testing.B) {
@@ -150,6 +201,7 @@ func BenchmarkFigure6BLEUCorrelation(b *testing.B) {
 		llm.ModelByName("gpt-4o"),
 		llm.ModelByName("llama-3.1-70b"),
 	}
+	isolate(b)
 	for i := 0; i < b.N; i++ {
 		out, err := engine.New(engine.Config{}).Figure6(context.Background(), models, nil)
 		if err != nil {
@@ -270,7 +322,11 @@ func BenchmarkAblationInduction(b *testing.B) {
 // raw single-shot rendering.
 func BenchmarkAblationCritic(b *testing.B) {
 	b.Run("with-critic", func(b *testing.B) {
+		isolate(b)
 		for i := 0; i < b.N; i++ {
+			// Measure real generation: the process-wide dataset cache
+			// would otherwise turn every iteration into a map walk.
+			svagen.ResetCache()
 			retries := 0
 			for _, inst := range svagen.Dataset(100) {
 				retries += inst.Retries

@@ -1,16 +1,24 @@
 // Command benchjson converts `go test -bench` output into the
 // BENCH_tables.json perf-trajectory artifact: one entry per benchmark
 // (the Benchmark prefix and -cpus suffix stripped) carrying ns/op, the
-// registry task that regenerates the same artifact, and — schema v3 —
-// the shard and worker counts parsed from distributed sub-benchmark
-// names ("DistTable1/shards=2/workers=2"), so the file tracks
-// distributed speedups next to single-process numbers. The previous
-// run's ns/op ride along as the baseline, so each artifact carries its
-// own before/after comparison.
+// registry task that regenerates the same artifact, the shard and
+// worker counts parsed from distributed sub-benchmark names
+// ("DistTable1/shards=2/workers=2"), and — schema v4 — every custom
+// benchmark metric (e.g. the simulation prefilter hit rate reported
+// as "prefilter-hit-rate"), so the file tracks prefilter
+// effectiveness next to raw timings. The previous run's ns/op ride
+// along as the baseline, so each artifact carries its own
+// before/after comparison.
 //
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -run='^$' . | go run ./cmd/benchjson -prev BENCH_tables.json > BENCH_tables.json.new
+//
+// With -gate-pct N (and -prev), benchjson additionally acts as the
+// CI bench-regression guard: any TableN/DistTableN entry whose ns/op
+// regressed more than N percent against the baseline fails the run
+// (exit 1) after writing the artifact, so the job both records and
+// enforces the perf trajectory.
 //
 // The Makefile bench target wires this up and rotates the file; CI
 // uploads it as a build artifact so the repo accumulates a perf
@@ -29,7 +37,7 @@ import (
 	"fveval/internal/task"
 )
 
-// Entry is one benchmark's record in the v3 schema.
+// Entry is one benchmark's record in the v4 schema.
 type Entry struct {
 	// NsPerOp is nanoseconds per iteration for this run.
 	NsPerOp int64 `json:"ns_per_op"`
@@ -41,16 +49,19 @@ type Entry struct {
 	// Dist benchmarks, so speedup curves fall out of one file.
 	Shards  int `json:"shards"`
 	Workers int `json:"workers"`
+	// Metrics carries the benchmark's custom b.ReportMetric values
+	// (unit -> value), e.g. "prefilter-hit-rate".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// File is the BENCH_tables.json schema (fveval-bench/v3).
+// File is the BENCH_tables.json schema (fveval-bench/v4).
 type File struct {
 	Schema string `json:"schema"`
 	// NsPerOp is the flat name → ns/op map, kept from v2 so baselines
 	// diff across schema versions.
 	NsPerOp map[string]int64 `json:"ns_per_op"`
-	// Entries is the v3 per-benchmark record, adding task mapping and
-	// shard/worker counts.
+	// Entries is the per-benchmark record: task mapping, shard/worker
+	// counts, and custom metrics.
 	Entries map[string]Entry `json:"entries"`
 	// BaselineNsPerOp carries the previous artifact's NsPerOp so the
 	// file itself records the before/after pair.
@@ -84,14 +95,18 @@ func taskFor(bench string) (string, bool) {
 }
 
 // benchLine matches e.g. "BenchmarkTable2HumanPassK-8   3   53136316 ns/op"
-// including sub-benchmark names ("BenchmarkDistTable1/shards=2/workers=2-8").
-var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+// including sub-benchmark names ("BenchmarkDistTable1/shards=2/workers=2-8")
+// and captures the trailing custom-metric pairs ("0.75 prefilter-hit-rate").
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$`)
+
+// metricPair pulls one "value unit" custom metric off the tail.
+var metricPair = regexp.MustCompile(`\s+(\d+(?:\.\d+)?(?:[eE][+-]?\d+)?) ([^\s]+)`)
 
 // fleetDim pulls shard/worker counts out of sub-benchmark path
 // segments ("/shards=2", "/workers=4").
 var fleetDim = regexp.MustCompile(`/(shards|workers)=(\d+)`)
 
-func entryFor(name string, ns int64) Entry {
+func entryFor(name string, ns int64, tail string) Entry {
 	e := Entry{NsPerOp: ns, Shards: 1, Workers: 1}
 	if t, ok := taskFor(name); ok {
 		e.Task = t
@@ -105,15 +120,31 @@ func entryFor(name string, ns int64) Entry {
 			}
 		}
 	}
+	for _, m := range metricPair.FindAllStringSubmatch(tail, -1) {
+		if m[2] == "B/op" || m[2] == "allocs/op" || m[2] == "MB/s" {
+			continue // standard testing metrics, not custom ones
+		}
+		if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[m[2]] = v
+		}
+	}
 	return e
 }
 
+// gated reports whether a benchmark participates in the regression
+// gate: every table entry, single-process or distributed.
+var gated = regexp.MustCompile(`^(?:Dist)?Table\d`)
+
 func main() {
 	prev := flag.String("prev", "", "previous BENCH_tables.json whose ns_per_op becomes this artifact's baseline")
+	gatePct := flag.Float64("gate-pct", 0, "fail (exit 1) when any TableN entry's ns/op regresses more than this percentage against -prev (0 disables the gate)")
 	flag.Parse()
 
 	out := File{
-		Schema:  "fveval-bench/v3",
+		Schema:  "fveval-bench/v4",
 		NsPerOp: map[string]int64{},
 		Entries: map[string]Entry{},
 	}
@@ -138,7 +169,7 @@ func main() {
 			continue
 		}
 		out.NsPerOp[m[1]] = int64(ns)
-		out.Entries[m[1]] = entryFor(m[1], int64(ns))
+		out.Entries[m[1]] = entryFor(m[1], int64(ns), m[3])
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -154,5 +185,27 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if *gatePct > 0 && len(out.BaselineNsPerOp) > 0 {
+		failed := false
+		for name, base := range out.BaselineNsPerOp {
+			if !gated.MatchString(name) || base <= 0 {
+				continue
+			}
+			now, ok := out.NsPerOp[name]
+			if !ok {
+				continue // benchmark removed or renamed; not a regression
+			}
+			limit := float64(base) * (1 + *gatePct/100)
+			if float64(now) > limit {
+				fmt.Fprintf(os.Stderr, "benchjson: %s regressed %.1f%% (%d -> %d ns/op, gate %.0f%%)\n",
+					name, 100*(float64(now)/float64(base)-1), base, now, *gatePct)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
 	}
 }

@@ -16,6 +16,8 @@
 //	fveval -table 4 -workers 8 -shard 0/4   # first of four horizontal shards
 //	fveval -table 2 -cache=false            # disable the equivalence memo
 //	fveval -table 2 -maxbound 12            # cap the formal bound ramp
+//	fveval -table 3 -simpatterns 0          # disable the simulation prefilter
+//	fveval -table 5 -simpatterns 256        # more refute-before-solve patterns
 //
 // A sharded invocation emits the partial-report JSON wire shape
 // (-json is implied): raw outcome grids with slot provenance instead
@@ -56,6 +58,7 @@ func main() {
 	cache := flag.Bool("cache", true, "memoize formal equivalence checks across the run")
 	maxBound := flag.Int("maxbound", 0, "cap for the formal backend's bound ramp: lasso bound for equivalence, BMC depth for model checking (0 = defaults, 16 each)")
 	budget := flag.Int64("budget", 0, "SAT conflict budget per formal query (0 = default 200000)")
+	simPatterns := flag.Int("simpatterns", 128, "bit-parallel simulation patterns the refute-before-solve prefilter evaluates per formal query (rounded up to 64-lane rounds; 0 disables the prefilter)")
 	flag.Parse()
 
 	if *list {
@@ -69,13 +72,15 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := engine.Config{
-		Limit:    *limit,
-		Samples:  *samples,
-		Budget:   *budget,
-		MaxBound: *maxBound,
-		Workers:  *workers,
-		Shard:    shardSpec,
-		NoCache:  !*cache,
+		Limit:       *limit,
+		Samples:     *samples,
+		Budget:      *budget,
+		MaxBound:    *maxBound,
+		Workers:     *workers,
+		Shard:       shardSpec,
+		NoCache:     !*cache,
+		SimPatterns: *simPatterns,
+		NoSim:       *simPatterns == 0,
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "fveval:", err)
@@ -91,6 +96,7 @@ func main() {
 	}
 	if fs := eng.FormalStats(); fs.Queries > 0 {
 		fmt.Fprintln(os.Stderr, fs)
+		fmt.Fprintln(os.Stderr, fs.Sim)
 	}
 }
 

@@ -109,6 +109,11 @@ type CacheStats = equiv.CacheStats
 // are decided at small bounds while proofs reuse all learnt clauses.
 type FormalStats = formal.Snapshot
 
+// SimStats reports the bit-parallel simulation prefilter's counters
+// (patterns simulated, refutations, SAT calls avoided, bank hits);
+// it is the Sim field of FormalStats, see DESIGN.md §10.
+type SimStats = formal.SimStats
+
 // Tasks lists the registry: one spec per sub-benchmark, covering
 // every paper table and figure.
 func Tasks() []TaskSpec { return task.Tasks() }

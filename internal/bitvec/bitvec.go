@@ -6,8 +6,6 @@
 package bitvec
 
 import (
-	"fmt"
-
 	"fveval/internal/logic"
 )
 
@@ -36,11 +34,15 @@ func Const(val uint64, width int) BV {
 // FromBool wraps a single node as a 1-bit vector.
 func FromBool(n logic.Node) BV { return BV{[]logic.Node{n}} }
 
-// Inputs allocates width fresh input nodes named name[i].
+// Inputs allocates width fresh input nodes, all carrying the vector's
+// base name as their debug name. Per-bit "[i]" suffixes used to be
+// materialized here; input allocation sits on the trace-environment
+// hot path and the per-bit string builds were measurable, while the
+// bit position is recoverable from allocation order when debugging.
 func Inputs(b *logic.Builder, name string, width int) BV {
 	bits := make([]logic.Node, width)
 	for i := range bits {
-		bits[i] = b.Input(fmt.Sprintf("%s[%d]", name, i))
+		bits[i] = b.Input(name)
 	}
 	return BV{bits}
 }
@@ -275,10 +277,10 @@ func (o Ops) Ult(a, b BV) logic.Node {
 func (o Ops) Ule(a, b BV) logic.Node { return o.Ult(b, a).Not() }
 
 // RedOr returns the OR-reduction (nonzero test).
-func (o Ops) RedOr(v BV) logic.Node { return o.B.OrAll(v.Bits...) }
+func (o Ops) RedOr(v BV) logic.Node { return o.B.OrSlice(v.Bits) }
 
 // RedAnd returns the AND-reduction.
-func (o Ops) RedAnd(v BV) logic.Node { return o.B.AndAll(v.Bits...) }
+func (o Ops) RedAnd(v BV) logic.Node { return o.B.AndSlice(v.Bits) }
 
 // RedXor returns the XOR-reduction (parity).
 func (o Ops) RedXor(v BV) logic.Node {

@@ -12,6 +12,8 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"fveval/internal/dataset/human"
 	"fveval/internal/equiv"
@@ -197,6 +199,68 @@ func LoadMachine(count int) []*MachineInstance {
 	return out
 }
 
+// ResetMemos clears the process-wide judgment memos (reference BLEU
+// tokens, candidate parses, design parses). Benchmarks call it so
+// each table measures a cold run — and so one benchmark's retained
+// ASTs don't inflate the next one's GC mark phase; a long-lived
+// service may call it to shed memory.
+func ResetMemos() {
+	refBLEU.Clear()
+	refBLEUSize.Store(0)
+	candParses.Clear()
+	candParsesSize.Store(0)
+	designParses.Clear()
+}
+
+// refBLEU memoizes each reference assertion's rendered source and
+// BLEU tokens by identity: one reference is scored against every
+// sample of every model, and rendering plus tokenizing it per
+// judgment was a top-five cost of the machine tables. The map is
+// cleared at a generous bound so a long-lived service cannot grow it
+// without limit (references are per-load pointers).
+var refBLEU sync.Map // *sva.Assertion -> metrics.RefTokens
+var refBLEUSize atomic.Int64
+
+func refTokens(ref *sva.Assertion) metrics.RefTokens {
+	if t, ok := refBLEU.Load(ref); ok {
+		return t.(metrics.RefTokens)
+	}
+	t := metrics.TokenizeRef(ref.String())
+	if refBLEUSize.Add(1) > 1<<16 {
+		refBLEU.Clear()
+		refBLEUSize.Store(1)
+	}
+	refBLEU.Store(ref, t)
+	return t
+}
+
+// candParses memoizes candidate parsing by source text: generic
+// responses recur across instances and models, and every consumer
+// treats parsed assertions as read-only, so one shared parse (and its
+// downstream identity-keyed memo entries) serves them all. Bounded
+// like refBLEU.
+var candParses sync.Map // code -> candParse
+var candParsesSize atomic.Int64
+
+type candParse struct {
+	a   *sva.Assertion
+	err error
+}
+
+func parseCandidate(code string) (*sva.Assertion, error) {
+	if v, ok := candParses.Load(code); ok {
+		p := v.(candParse)
+		return p.a, p.err
+	}
+	a, err := sva.ParseAssertion(code)
+	if candParsesSize.Add(1) > 1<<16 {
+		candParses.Clear()
+		candParsesSize.Store(1)
+	}
+	candParses.Store(code, candParse{a, err})
+	return a, err
+}
+
 // JudgeTranslation runs the full evaluation flow on one response:
 // extraction, BLEU, parse, validate, formal equivalence against the
 // reference. The checker options (budget, bound ramp ceiling, stats
@@ -206,8 +270,8 @@ func LoadMachine(count int) []*MachineInstance {
 func JudgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs, opt equiv.Options, cache *equiv.Cache) Outcome {
 	code := llm.ExtractCode(response)
 	out := Outcome{InstanceID: id, Response: code}
-	out.BLEU = metrics.BLEU(code, ref.String())
-	cand, err := sva.ParseAssertion(code)
+	out.BLEU = metrics.BLEURef(code, refTokens(ref))
+	cand, err := parseCandidate(code)
 	if err != nil {
 		return out
 	}
@@ -235,9 +299,38 @@ func JudgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs,
 // assertion — the paper's Design2SVA evaluation flow. The checker
 // options (budget, depths, stats sink) pass through to
 // mc.CheckAssertion.
+// designParses memoizes the design half of the Design2SVA parse: one
+// design is judged against dozens of candidate snippets, and only the
+// testbench half changes between them. The split parse is taken only
+// when the design carries no preprocessor directives (no backtick), so
+// a design `define can never silently stop reaching the bench.
+var designParses sync.Map // design source -> *rtl.File
+
+func parseDesignBench(design, bench string) (*rtl.File, error) {
+	if !strings.Contains(design, "`") {
+		var df *rtl.File
+		if v, ok := designParses.Load(design); ok {
+			df = v.(*rtl.File)
+		} else if parsed, err := rtl.Parse(design); err == nil {
+			designParses.Store(design, parsed)
+			df = parsed
+		}
+		if df != nil {
+			bf, err := rtl.Parse(bench)
+			if err != nil {
+				return nil, err
+			}
+			f := &rtl.File{Modules: make([]*rtl.Module, 0, len(df.Modules)+len(bf.Modules))}
+			f.Modules = append(append(f.Modules, df.Modules...), bf.Modules...)
+			return f, nil
+		}
+	}
+	return rtl.Parse(design + "\n" + bench)
+}
+
 func JudgeDesign(inst *rtlgen.Instance, snippet string, opt mc.Options) (syntaxOK, proven bool) {
 	merged := insertBeforeEndmodule(inst.Bench, snippet)
-	f, err := rtl.Parse(inst.Design + "\n" + merged)
+	f, err := parseDesignBench(inst.Design, merged)
 	if err != nil {
 		return false, false
 	}

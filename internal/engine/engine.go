@@ -92,6 +92,15 @@ type Config struct {
 	// translation judgments, design judgments). Verdicts are identical
 	// either way; the memos only skip duplicate solves.
 	NoCache bool `json:"no_cache,omitempty"`
+	// SimPatterns sets how many bit-parallel simulation patterns the
+	// formal backend's refute-before-solve prefilter evaluates per
+	// query (rounded up to 64-lane rounds; 0 = default 128). The
+	// prefilter is refute-only — verdicts, reports, and rendered
+	// tables are byte-identical with it on or off (DESIGN.md §10).
+	SimPatterns int `json:"sim_patterns,omitempty"`
+	// NoSim disables the simulation prefilter entirely: every formal
+	// query goes straight to the SAT solver, as before PR 5.
+	NoSim bool `json:"no_sim,omitempty"`
 }
 
 // Validate rejects configurations that would silently misbehave:
@@ -113,6 +122,9 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("engine: negative Workers %d", c.Workers)
 	}
+	if c.SimPatterns < 0 {
+		return fmt.Errorf("engine: negative SimPatterns %d", c.SimPatterns)
+	}
 	return c.Shard.Validate()
 }
 
@@ -127,6 +139,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Samples == 0 {
 		c.Samples = 1
+	}
+	if c.SimPatterns == 0 {
+		c.SimPatterns = 128
+	}
+	if c.NoSim {
+		c.SimPatterns = 0
 	}
 	return c
 }
@@ -157,6 +175,12 @@ type Observer func(Progress)
 type state struct {
 	cache  *equiv.Cache
 	formal *formal.Stats // incremental-backend reuse counters (never nil)
+	// bank is the run-wide counterexample pattern bank feeding the
+	// simulation prefilter (never nil; unused when NoSim). Like the
+	// equivalence cache it is shared across Reconfigure-derived
+	// engines, so one request's counterexamples refute the next
+	// request's queries.
+	bank *formal.Bank
 
 	// transMu guards transMemo, the run-wide translation-judgment memo:
 	// identical extracted responses recur across samples and models, and
@@ -174,7 +198,7 @@ type state struct {
 }
 
 func newState(noCache bool) *state {
-	st := &state{formal: &formal.Stats{}}
+	st := &state{formal: &formal.Stats{}, bank: formal.NewBank(0)}
 	if !noCache {
 		st.cache = equiv.NewCache()
 		st.transMemo = map[string]core.Outcome{}
@@ -267,12 +291,28 @@ func (e *Engine) CacheStats() equiv.CacheStats { return e.st.cache.Stats() }
 // and bound-ramp counters for this engine's runs.
 func (e *Engine) FormalStats() formal.Snapshot { return e.st.formal.Snapshot() }
 
+// SimStats snapshots the simulation-prefilter counters (a projection
+// of FormalStats, for callers that only surface the prefilter).
+func (e *Engine) SimStats() formal.SimStats { return e.st.formal.Snapshot().Sim }
+
+// simBank resolves the pattern bank the formal backend should use:
+// the shared pool bank, or nil when the prefilter is off (no point
+// collecting patterns nothing will replay).
+func (e *Engine) simBank() *formal.Bank {
+	if e.cfg.SimPatterns == 0 {
+		return nil
+	}
+	return e.st.bank
+}
+
 // equivOptions resolves the equivalence-checker options for this run.
 func (e *Engine) equivOptions() equiv.Options {
 	return equiv.Options{
-		Budget:   e.cfg.Budget,
-		MaxBound: e.cfg.MaxBound,
-		Stats:    e.st.formal,
+		Budget:      e.cfg.Budget,
+		MaxBound:    e.cfg.MaxBound,
+		SimPatterns: e.cfg.SimPatterns,
+		Bank:        e.simBank(),
+		Stats:       e.st.formal,
 	}
 }
 
@@ -280,9 +320,11 @@ func (e *Engine) equivOptions() equiv.Options {
 // caps the falsification depth; proof depths stay at backend defaults.
 func (e *Engine) mcOptions() mc.Options {
 	return mc.Options{
-		Budget:   e.cfg.Budget,
-		BMCDepth: e.cfg.MaxBound,
-		Stats:    e.st.formal,
+		Budget:      e.cfg.Budget,
+		BMCDepth:    e.cfg.MaxBound,
+		SimPatterns: e.cfg.SimPatterns,
+		Bank:        e.simBank(),
+		Stats:       e.st.formal,
 	}
 }
 
@@ -446,10 +488,15 @@ func (e *Engine) HumanGrid(ctx context.Context, models []llm.Model, sampled bool
 	if sampled {
 		n = e.passKSamples()
 	}
+	// Prompts depend only on the instance, so build each once instead
+	// of once per (model, sample) job; models treat them read-only.
+	prompts := make([]*llm.Prompt, len(kept))
+	for i, in := range kept {
+		prompts[i] = llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
+	}
 	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
 		in := kept[j.inst]
-		p := llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
-		resp := models[j.model].Generate(p, j.sample)
+		resp := models[j.model].Generate(prompts[j.inst], j.sample)
 		return e.judgeTranslation(datasetHuman, in.ID, resp, in.Reference, in.Sigs)
 	}, obs)
 	if err != nil {
@@ -487,10 +534,13 @@ func (e *Engine) MachineGrid(ctx context.Context, models []llm.Model, shots, cou
 	if sampled {
 		n = e.passKSamples()
 	}
+	prompts := make([]*llm.Prompt, len(kept))
+	for i, in := range kept {
+		prompts[i] = llm.BuildMachinePrompt(in.ID, in.NL, shots, in.Reference)
+	}
 	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
 		in := kept[j.inst]
-		p := llm.BuildMachinePrompt(in.ID, in.NL, shots, in.Reference)
-		resp := models[j.model].Generate(p, j.sample)
+		resp := models[j.model].Generate(prompts[j.inst], j.sample)
 		return e.judgeTranslation(datasetMachine, in.ID, resp, in.Reference, in.Sigs)
 	}, obs)
 	if err != nil {
@@ -526,10 +576,13 @@ func (e *Engine) NL2SVAMachinePassK(ctx context.Context, models []llm.Model, ks 
 func (e *Engine) DesignGrid(ctx context.Context, models []llm.Model, kind string, obs Observer) (*Grid, error) {
 	kept, total := clip(rtlgen.Sweep96(kind), e.cfg)
 	n := e.passKSamples()
+	prompts := make([]*llm.Prompt, len(kept))
+	for i, inst := range kept {
+		prompts[i] = llm.BuildDesignPrompt(inst)
+	}
 	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
 		inst := kept[j.inst]
-		p := llm.BuildDesignPrompt(inst)
-		resp := models[j.model].Generate(p, j.sample)
+		resp := models[j.model].Generate(prompts[j.inst], j.sample)
 		code := llm.ExtractCode(resp)
 		c := e.judgeDesignMemo(kind, inst, code)
 		return core.Outcome{InstanceID: inst.ID, Response: code, Syntax: c.syntax, Full: c.proven}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"fveval/internal/core"
+	"fveval/internal/llm"
+)
+
+// TestPrefilterDoesNotChangeTables pins the refute-only contract at
+// the engine level: with the simulation prefilter at its default, at a
+// high pattern count, and fully disabled, every rendered table and
+// every per-instance outcome is byte-identical — the prefilter may
+// only ever replace a SAT call, never change its answer.
+func TestPrefilterDoesNotChangeTables(t *testing.T) {
+	models := []llm.Model{llm.ModelByName("gpt-4o"), llm.ModelByName("gemini-1.5-flash")}
+
+	variants := []Config{
+		{Samples: 3},                   // default prefilter (128 patterns)
+		{Samples: 3, SimPatterns: 512}, // heavier prefilter
+		{Samples: 3, NoSim: true},      // pure SAT
+	}
+	var tables []string
+	for _, cfg := range variants {
+		reports, err := RunNL2SVAMachinePassK(models, []int{1, 3}, 12, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, core.FormatTable4(reports))
+	}
+	for i := 1; i < len(tables); i++ {
+		if tables[i] != tables[0] {
+			t.Fatalf("prefilter variant %d changed the table:\n--- default ---\n%s\n--- variant ---\n%s",
+				i, tables[0], tables[i])
+		}
+	}
+
+	// Outcome-level equality on the greedy machine flow and the mc-backed
+	// design flow.
+	ctx := context.Background()
+	eOn := New(Config{Limit: 12})
+	eOff := New(Config{Limit: 12, NoSim: true})
+	on, err := eOn.NL2SVAMachine(ctx, models, 0, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := eOff.NL2SVAMachine(ctx, models, 0, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range on {
+		for i := range on[m].Outcomes {
+			if on[m].Outcomes[i] != off[m].Outcomes[i] {
+				t.Fatalf("outcome %d diverged: prefilter %+v pure-SAT %+v",
+					i, on[m].Outcomes[i], off[m].Outcomes[i])
+			}
+		}
+	}
+	if eOn.SimStats().Patterns == 0 {
+		t.Fatal("prefilter engine simulated nothing; the comparison is vacuous")
+	}
+	if eOff.SimStats().Patterns != 0 {
+		t.Fatalf("NoSim engine still simulated: %+v", eOff.SimStats())
+	}
+
+	dOn := New(Config{Limit: 2, Samples: 2})
+	dOff := New(Config{Limit: 2, Samples: 2, NoSim: true})
+	designModels := llm.DesignModels()[:2]
+	ron, err := dOn.Design2SVA(ctx, designModels, "fsm", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roff, err := dOff.Design2SVA(ctx, designModels, "fsm", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := core.FormatTable5(nil, ron), core.FormatTable5(nil, roff); got != want {
+		t.Fatalf("prefilter changed the design table:\n--- on ---\n%s\n--- off ---\n%s", got, want)
+	}
+}
+
+// TestPrefilterBankSurvivesReconfigure checks the pattern bank lives
+// in the shareable pool: a derived engine keeps refuting from the
+// base engine's learned counterexamples.
+func TestPrefilterBankSurvivesReconfigure(t *testing.T) {
+	base := New(Config{Limit: 8})
+	derived, err := base.Reconfigure(Config{Limit: 8, MaxBound: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.st.bank != derived.st.bank {
+		t.Fatal("Reconfigure did not share the pattern bank")
+	}
+	detached, err := base.Reconfigure(Config{Limit: 8, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.st.bank == detached.st.bank {
+		t.Fatal("NoCache reconfigure should detach the pool (bank included)")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -51,11 +52,25 @@ type Cache struct {
 	m      map[[sha256.Size]byte]cacheEntry
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// Key-derivation memos: canonical renderings by assertion identity
+	// and signal-environment digests by Sigs identity. References and
+	// signal environments repeat across thousands of queries, and
+	// re-rendering them dominated cacheKey. Both grow with the same
+	// traffic the verdict map does.
+	normMu sync.RWMutex
+	norm   map[*sva.Assertion]string
+	sigsMu sync.RWMutex
+	sigsD  map[*Sigs][]byte
 }
 
 // NewCache returns an empty cache ready for concurrent use.
 func NewCache() *Cache {
-	return &Cache{m: map[[sha256.Size]byte]cacheEntry{}}
+	return &Cache{
+		m:     map[[sha256.Size]byte]cacheEntry{},
+		norm:  map[*sva.Assertion]string{},
+		sigsD: map[*Sigs][]byte{},
+	}
 }
 
 // Check is Check with memoization. Cached Results are shared — callers
@@ -65,7 +80,7 @@ func (c *Cache) Check(a, b *sva.Assertion, sigs *Sigs, opt Options) (Result, err
 	if c == nil {
 		return Check(a, b, sigs, opt)
 	}
-	key := cacheKey(a, b, sigs, opt)
+	key := c.key(a, b, sigs, opt)
 	c.mu.RLock()
 	e, ok := c.m[key]
 	c.mu.RUnlock()
@@ -99,20 +114,69 @@ func (c *Cache) Len() int {
 	return len(c.m)
 }
 
-// cacheKey hashes the semantic content of a query: canonical assertion
+// key hashes the semantic content of a query: canonical assertion
 // renderings with labels stripped, the sorted signal environment, and
-// every option that can change the verdict.
-func cacheKey(a, b *sva.Assertion, sigs *Sigs, opt Options) [sha256.Size]byte {
+// every option that can change the verdict (the simulation-prefilter
+// knobs are deliberately excluded — they never do).
+func (c *Cache) key(a, b *sva.Assertion, sigs *Sigs, opt Options) [sha256.Size]byte {
 	h := sha256.New()
-	io.WriteString(h, normalizeAssertion(a))
+	io.WriteString(h, c.normalized(a))
 	h.Write([]byte{0})
-	io.WriteString(h, normalizeAssertion(b))
+	io.WriteString(h, c.normalized(b))
 	h.Write([]byte{0})
-	writeSigs(h, sigs)
+	h.Write(c.sigsDigest(sigs))
 	fmt.Fprintf(h, "|%d|%d|%d", opt.MaxBound, opt.Bound, opt.Budget)
 	var key [sha256.Size]byte
 	copy(key[:], h.Sum(nil))
 	return key
+}
+
+// memoCap bounds the pointer-keyed derivation memos below: unlike the
+// content-hashed verdict map, their keys are object identities, so a
+// long-lived service re-parsing duplicate assertions would otherwise
+// grow them (and pin the keyed ASTs) forever. Hitting the cap clears
+// the memo — rare, and only costs re-rendering.
+const memoCap = 1 << 16
+
+// normalized memoizes normalizeAssertion by assertion identity:
+// references recur across every sample of every model, and rendering
+// them per query dominated key derivation.
+func (c *Cache) normalized(a *sva.Assertion) string {
+	c.normMu.RLock()
+	s, ok := c.norm[a]
+	c.normMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = normalizeAssertion(a)
+	c.normMu.Lock()
+	if len(c.norm) >= memoCap {
+		c.norm = map[*sva.Assertion]string{}
+	}
+	c.norm[a] = s
+	c.normMu.Unlock()
+	return s
+}
+
+// sigsDigest memoizes the signal-environment serialization by Sigs
+// identity (one Sigs value typically serves a whole dataset).
+func (c *Cache) sigsDigest(sigs *Sigs) []byte {
+	c.sigsMu.RLock()
+	d, ok := c.sigsD[sigs]
+	c.sigsMu.RUnlock()
+	if ok {
+		return d
+	}
+	var buf strings.Builder
+	writeSigs(&buf, sigs)
+	d = []byte(buf.String())
+	c.sigsMu.Lock()
+	if len(c.sigsD) >= memoCap {
+		c.sigsD = map[*Sigs][]byte{}
+	}
+	c.sigsD[sigs] = d
+	c.sigsMu.Unlock()
+	return d
 }
 
 // normalizeAssertion renders an assertion canonically, dropping the

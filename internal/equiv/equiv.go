@@ -66,6 +66,19 @@ type Options struct {
 	// authoritative final-bound solve keeps exactly the budget the
 	// former one-shot check gave it.
 	Budget int64
+	// SimPatterns enables the bit-parallel simulation prefilter
+	// (DESIGN.md §10): before each direction's SAT call, this many
+	// random patterns (rounded up to 64-lane rounds, plus recycled
+	// Bank patterns) are simulated over the violation cone, and a lane
+	// satisfying it decides the direction — with the lane as the
+	// witness — without opening the solver. 0 disables. The prefilter
+	// is refute-only, so verdicts are identical either way (and the
+	// knob is excluded from cache keys).
+	SimPatterns int
+	// Bank, when non-nil, supplies recycled counterexample patterns to
+	// the prefilter and receives every SAT witness found here, so later
+	// queries in the same run are refuted by earlier counterexamples.
+	Bank *formal.Bank
 	// Stats, when non-nil, receives solver-reuse and ramp counters.
 	// It never affects verdicts (and is excluded from cache keys).
 	Stats *formal.Stats
@@ -391,6 +404,11 @@ func findWitnesses(fa, fb ltl.Formula, sigs *Sigs, ks []int, usesPast, unbounded
 		return nil, nil, 0, err
 	}
 
+	var pf *simPrefilter
+	if opt.SimPatterns > 0 {
+		pf = newSimPrefilter(b, env, opt)
+	}
+
 	solved := 0
 	for step, k := range ks {
 		solved = k // reaching a step means at least one direction solves here
@@ -427,6 +445,20 @@ func findWitnesses(fa, fb ltl.Formula, sigs *Sigs, ks []int, usesPast, unbounded
 				hashBase = b.HashHits()
 			}
 
+			// Refute before solving: a simulation lane satisfying the
+			// violation disjunction is a complete concrete witness at
+			// this exact bound, so the SAT call it preempts could only
+			// have returned the same verdict (DESIGN.md §10).
+			if pf != nil {
+				if lane, hit, fromBank := pf.refute(names, k, total); hit {
+					dir.trace = decodeTraceLane(pf.sim, lane, env, names, k, perLoop)
+					dir.done = true
+					dir.early = step < len(ks)-1
+					opt.Stats.SimRefuted(fromBank, 1)
+					continue
+				}
+			}
+
 			act := b.Input(fmt.Sprintf("ramp_act@%d.%d", k, di))
 			cnf.AssertIf(act, total)
 
@@ -445,6 +477,9 @@ func findWitnesses(fa, fb ltl.Formula, sigs *Sigs, ks []int, usesPast, unbounded
 				dir.trace = decodeTrace(b, env, cnf, model, names, sigs, k, perLoop)
 				dir.done = true
 				dir.early = step < len(ks)-1
+				// Counterexample-guided refinement: fold the witness into
+				// the shared bank so later pairs can be refuted by it.
+				bankTrace(opt.Bank, dir.trace)
 			}
 			// Retire the activation either way: a found witness ends this
 			// direction, and an UNSAT bound's constraints must drop out
@@ -490,27 +525,37 @@ func unionNames(f, g ltl.Formula) []string {
 	return out
 }
 
+// decodeTrace decodes a SAT model into a witness trace: the model's
+// input values are broadcast into a one-lane simulation of the dense
+// evaluator (no maps, no recursion) and the trace reads off lane 0.
 func decodeTrace(b *logic.Builder, env *ltl.TraceEnv, cnf *logic.CNF,
 	model []bool, names []string, sigs *Sigs, k int, perLoop map[int]logic.Node) *Trace {
 
-	// Build an input assignment for circuit evaluation.
-	assign := map[logic.Node]bool{}
+	sim := logic.NewSim(b)
 	for _, n := range names {
 		for pos := 0; pos < k; pos++ {
 			if bv, ok := env.At(n, pos); ok {
 				for _, bit := range bv.Bits {
-					if !bit.IsConst() {
-						assign[bit] = cnf.InputValue(model, bit)
+					if !bit.IsConst() && cnf.InputValue(model, bit) {
+						sim.SetInput(bit, ^uint64(0))
 					}
 				}
 			}
 		}
 	}
+	sim.Run()
+	return decodeTraceLane(sim, 0, env, names, k, perLoop)
+}
+
+// decodeTraceLane reads one simulation lane off as a witness trace —
+// the shared decode path of the SAT model decoder and the prefilter
+// (whose hit lane is already a complete assignment).
+func decodeTraceLane(sim *logic.Sim, lane int, env *ltl.TraceEnv,
+	names []string, k int, perLoop map[int]logic.Node) *Trace {
 
 	tr := &Trace{Loop: -1, Len: k, Signals: map[string][]uint64{}}
-	cache := map[int32]bool{}
 	for l, viol := range perLoop {
-		if b.Eval(viol, assign, cache) {
+		if sim.Bit(viol, lane) {
 			tr.Loop = l
 			break
 		}
@@ -521,13 +566,7 @@ func decodeTrace(b *logic.Builder, env *ltl.TraceEnv, cnf *logic.CNF,
 			if bv, ok := env.At(n, pos); ok {
 				var v uint64
 				for i, bit := range bv.Bits {
-					bval := false
-					if bit.IsConst() {
-						bval = bit == logic.True
-					} else {
-						bval = assign[bit]
-					}
-					if bval && i < 64 {
+					if i < 64 && sim.Bit(bit, lane) {
 						v |= 1 << uint(i)
 					}
 				}
@@ -537,6 +576,102 @@ func decodeTrace(b *logic.Builder, env *ltl.TraceEnv, cnf *logic.CNF,
 		tr.Signals[n] = vals
 	}
 	return tr
+}
+
+// bankTrace folds a decoded witness into the shared pattern bank
+// (copying the values: banked patterns are read-only and the trace is
+// cached alongside the verdict).
+func bankTrace(bank *formal.Bank, t *Trace) {
+	if bank == nil || t == nil {
+		return
+	}
+	vals := make(map[string][]uint64, len(t.Signals))
+	for n, vs := range t.Signals {
+		vals[n] = append([]uint64(nil), vs...)
+	}
+	bank.Add(formal.Pattern{Len: t.Len, Vals: vals})
+}
+
+// ---- bit-parallel simulation prefilter (DESIGN.md §10) ------------------
+
+// simPrefilter drives refute-before-solve for one findWitnesses
+// session: one Sim over the session's shared builder, a snapshot of
+// the run-wide pattern bank, and a deterministic random stream.
+type simPrefilter struct {
+	env     *ltl.TraceEnv
+	sim     *logic.Sim
+	lanes   int // random lanes to simulate per query
+	banked  []formal.Pattern
+	rng     uint64
+	st      *formal.Stats
+	scratch []uint64 // per-signal lane-word buffer, reused across rounds
+}
+
+func newSimPrefilter(b *logic.Builder, env *ltl.TraceEnv, opt Options) *simPrefilter {
+	return &simPrefilter{
+		env:    env,
+		sim:    logic.NewSim(b),
+		lanes:  opt.SimPatterns,
+		banked: opt.Bank.Patterns(64),
+		// Fixed seed: every session draws the same deterministic
+		// stream, keeping stats and witness traces reproducible.
+		rng: 0x5eed5eed5eed5eed,
+		st:  opt.Stats,
+	}
+}
+
+// refute simulates banked + random patterns over the violation
+// disjunction at bound k. A true lane is a complete concrete witness;
+// the caller decodes it from the still-warm Sim. Missing is not a
+// verdict — the SAT path runs as before.
+func (pf *simPrefilter) refute(names []string, k int, total logic.Node) (int, bool, bool) {
+	if total == logic.False {
+		// Constant-folded to unsatisfiable: nothing to refute.
+		return 0, false, false
+	}
+	remaining := pf.lanes
+	for round := 0; remaining > 0 || (round == 0 && len(pf.banked) > 0); round++ {
+		bankLanes := 0
+		if round == 0 {
+			bankLanes = len(pf.banked)
+		}
+		bankMask := ^uint64(0)
+		if bankLanes < 64 {
+			bankMask = 1<<uint(bankLanes) - 1
+		}
+		for _, name := range names {
+			for pos := 0; pos < k; pos++ {
+				bv, ok := pf.env.At(name, pos)
+				if !ok {
+					continue
+				}
+				if cap(pf.scratch) < len(bv.Bits) {
+					pf.scratch = make([]uint64, len(bv.Bits))
+				}
+				words := pf.scratch[:len(bv.Bits)]
+				if bankLanes > 0 {
+					formal.LaneWords(pf.banked, bankLanes, name, pos, words)
+				} else {
+					for i := range words {
+						words[i] = 0
+					}
+				}
+				for i, bit := range bv.Bits {
+					if bit.IsConst() {
+						continue
+					}
+					pf.sim.SetInput(bit, words[i]|formal.SplitMix64(&pf.rng)&^bankMask)
+				}
+			}
+		}
+		pf.sim.Run()
+		pf.st.SimPatterns(64)
+		remaining -= 64 - bankLanes
+		if lane, ok := pf.sim.FirstLane(total); ok {
+			return lane, true, lane < bankLanes
+		}
+	}
+	return 0, false, false
 }
 
 // DefaultMachineSigs is the symbolic signal environment of the

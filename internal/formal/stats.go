@@ -21,6 +21,12 @@ type Stats struct {
 	learntKept  atomic.Int64 // learnt clauses alive entering a reused call
 	gatesShared atomic.Int64 // circuit nodes reused instead of re-encoded
 	encoded     atomic.Int64 // circuit nodes Tseitin-encoded into solvers
+
+	// Bit-parallel simulation prefilter counters (DESIGN.md §10).
+	simPatterns    atomic.Int64 // pattern lanes simulated
+	simRefutations atomic.Int64 // queries refuted by simulation alone
+	simSATAvoided  atomic.Int64 // SAT calls skipped thanks to a sim witness
+	simBankHits    atomic.Int64 // refutations from a recycled counterexample
 }
 
 // Query records one incremental session: the number of Solve calls it
@@ -59,6 +65,53 @@ func (s *Stats) NodesEncoded(n int64) {
 	s.encoded.Add(n)
 }
 
+// SimPatterns records pattern lanes evaluated by the bit-parallel
+// prefilter.
+func (s *Stats) SimPatterns(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.simPatterns.Add(n)
+}
+
+// SimRefuted records one prefilter refutation: a query decided by a
+// concrete simulation witness. fromBank marks witnesses found among
+// recycled counterexample patterns (vs fresh random ones); satAvoided
+// is the number of solver calls the refutation made unnecessary.
+func (s *Stats) SimRefuted(fromBank bool, satAvoided int64) {
+	if s == nil {
+		return
+	}
+	s.simRefutations.Add(1)
+	s.simSATAvoided.Add(satAvoided)
+	if fromBank {
+		s.simBankHits.Add(1)
+	}
+}
+
+// SimStats is a point-in-time copy of the simulation-prefilter
+// counters.
+type SimStats struct {
+	// Patterns is the number of pattern lanes simulated.
+	Patterns int64 `json:"patterns"`
+	// Refutations is the number of queries decided by simulation alone.
+	Refutations int64 `json:"refutations"`
+	// SATAvoided is the number of solver calls skipped.
+	SATAvoided int64 `json:"sat_avoided"`
+	// BankHits is the number of refutations found among recycled
+	// counterexample patterns rather than fresh random ones.
+	BankHits int64 `json:"bank_hits"`
+}
+
+func (s SimStats) String() string {
+	if s.Patterns == 0 {
+		return "sim prefilter: off"
+	}
+	return fmt.Sprintf(
+		"sim prefilter: %d patterns simulated, %d refutations (%d recycled), %d SAT calls avoided",
+		s.Patterns, s.Refutations, s.BankHits, s.SATAvoided)
+}
+
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	Queries     int64 `json:"queries"`
@@ -68,6 +121,8 @@ type Snapshot struct {
 	LearntKept  int64 `json:"learnt_kept"`
 	GatesShared int64 `json:"gates_shared"`
 	Encoded     int64 `json:"encoded"`
+	// Sim carries the simulation-prefilter counters.
+	Sim SimStats `json:"sim"`
 }
 
 // Snapshot copies the counters; zero for a nil receiver.
@@ -83,6 +138,52 @@ func (s *Stats) Snapshot() Snapshot {
 		LearntKept:  s.learntKept.Load(),
 		GatesShared: s.gatesShared.Load(),
 		Encoded:     s.encoded.Load(),
+		Sim: SimStats{
+			Patterns:    s.simPatterns.Load(),
+			Refutations: s.simRefutations.Load(),
+			SATAvoided:  s.simSATAvoided.Load(),
+			BankHits:    s.simBankHits.Load(),
+		},
+	}
+}
+
+// Add returns the field-wise sum of two snapshots — the distributed
+// merge fold (shard deltas are disjoint traffic on separate pools).
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		Queries:     s.Queries + o.Queries,
+		Solves:      s.Solves + o.Solves,
+		EarlyStops:  s.EarlyStops + o.EarlyStops,
+		Conflicts:   s.Conflicts + o.Conflicts,
+		LearntKept:  s.LearntKept + o.LearntKept,
+		GatesShared: s.GatesShared + o.GatesShared,
+		Encoded:     s.Encoded + o.Encoded,
+		Sim: SimStats{
+			Patterns:    s.Sim.Patterns + o.Sim.Patterns,
+			Refutations: s.Sim.Refutations + o.Sim.Refutations,
+			SATAvoided:  s.Sim.SATAvoided + o.Sim.SATAvoided,
+			BankHits:    s.Sim.BankHits + o.Sim.BankHits,
+		},
+	}
+}
+
+// Sub returns the field-wise difference s - o — the per-run delta of
+// cumulative counters.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Queries:     s.Queries - o.Queries,
+		Solves:      s.Solves - o.Solves,
+		EarlyStops:  s.EarlyStops - o.EarlyStops,
+		Conflicts:   s.Conflicts - o.Conflicts,
+		LearntKept:  s.LearntKept - o.LearntKept,
+		GatesShared: s.GatesShared - o.GatesShared,
+		Encoded:     s.Encoded - o.Encoded,
+		Sim: SimStats{
+			Patterns:    s.Sim.Patterns - o.Sim.Patterns,
+			Refutations: s.Sim.Refutations - o.Sim.Refutations,
+			SATAvoided:  s.Sim.SATAvoided - o.Sim.SATAvoided,
+			BankHits:    s.Sim.BankHits - o.Sim.BankHits,
+		},
 	}
 }
 

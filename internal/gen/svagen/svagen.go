@@ -7,6 +7,7 @@ package svagen
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"fveval/internal/nl"
 	"fveval/internal/sva"
@@ -72,11 +73,27 @@ func Generate(seed int64) *Instance {
 	}
 }
 
+// genCache memoizes Generate by seed: generation is deterministic and
+// instances are treated read-only everywhere, so every engine sharing
+// a process (benchmarks, the service, repeated runs) reuses one copy
+// instead of re-running the generator and naturalizer critic loop.
+var genCache sync.Map // int64 -> *Instance
+
+// ResetCache drops the memoized instances (benchmark isolation).
+func ResetCache() { genCache.Clear() }
+
 // Dataset returns the n-instance benchmark (the paper uses 300).
 func Dataset(n int) []*Instance {
 	out := make([]*Instance, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, Generate(int64(i+1)))
+		seed := int64(i + 1)
+		if v, ok := genCache.Load(seed); ok {
+			out = append(out, v.(*Instance))
+			continue
+		}
+		inst := Generate(seed)
+		genCache.Store(seed, inst)
+		out = append(out, inst)
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"fveval/internal/sva"
@@ -134,15 +135,16 @@ func (m *ProxyModel) rng(p *Prompt, salt string) *rand.Rand {
 // Generate implements Model.
 func (m *ProxyModel) Generate(p *Prompt, sample int) string {
 	tp := m.profileFor(p)
-	base := m.rng(p, fmt.Sprintf("shots=%d", p.Shots))
+	shots := strconv.Itoa(p.Shots)
+	base := m.rng(p, "shots="+shots)
 	class := tp.sample(base)
 	if sample > 0 {
-		jr := m.rng(p, fmt.Sprintf("shots=%d/sample=%d", p.Shots, sample))
+		jr := m.rng(p, "shots="+shots+"/sample="+strconv.Itoa(sample))
 		if jr.Float64() < tp.Jitter {
 			class = tp.sample(jr)
 		}
 	}
-	style := m.rng(p, fmt.Sprintf("style/%d/%d", p.Shots, sample))
+	style := m.rng(p, "style/"+shots+"/"+strconv.Itoa(sample))
 	var code string
 	if p.Task == Design2SVA {
 		code = m.designResponse(p, class, style)

@@ -34,6 +34,9 @@ func (n Node) compl() bool  { return n&1 == 1 }
 // Not returns the complement of n.
 func (n Node) Not() Node { return n ^ 1 }
 
+// Compl reports whether n is in complemented form.
+func (n Node) Compl() bool { return n.compl() }
+
 type gate struct {
 	a, b Node // two-input AND gate; inputs may be complemented
 }
@@ -41,24 +44,56 @@ type gate struct {
 // Builder constructs circuits. Nodes are value types referencing the
 // builder's node table; a Node from one builder must not be used with
 // another.
+//
+// Structural hashing uses a flat open-addressing table (Fibonacci
+// hashing, linear probing) instead of a Go map: And is the single
+// hottest constructor in the formal backend, and the flat table cuts
+// both the hash and the probe to a few instructions.
 type Builder struct {
-	gates    []gate          // index 0 unused (reserved for constants)
-	hash     map[gate]Node   // structural hashing
-	inputs   []Node          // free input nodes in creation order
-	names    map[Node]string // debug names of inputs
-	isVar    []bool          // per-index: true if free input
-	hashHits int64           // And calls answered from the hash table
+	gates    []gate   // index 0 unused (reserved for constants)
+	htab     []int32  // open addressing: gate index + 1, 0 = empty
+	hshift   uint     // 64 - log2(len(htab))
+	hcount   int      // occupied slots
+	inputs   []Node   // free input nodes in creation order
+	names    []string // per-index debug names ("" for gates)
+	isVar    []bool   // per-index: true if free input
+	hashHits int64    // And calls answered from the hash table
 }
 
 // NewBuilder returns an empty circuit builder.
 func NewBuilder() *Builder {
 	b := &Builder{
-		hash:  make(map[gate]Node),
-		names: make(map[Node]string),
+		htab:   make([]int32, 1024),
+		hshift: 64 - 10,
 	}
 	b.gates = append(b.gates, gate{}) // index 0: constants
 	b.isVar = append(b.isVar, false)
+	b.names = append(b.names, "")
 	return b
+}
+
+// hashIdx returns the open-addressing start slot for a gate.
+func (b *Builder) hashIdx(g gate) uint64 {
+	key := uint64(uint32(g.a))<<32 | uint64(uint32(g.b))
+	return (key * 0x9e3779b97f4a7c15) >> b.hshift
+}
+
+// hrehash doubles the table when load passes ~70%.
+func (b *Builder) hrehash() {
+	old := b.htab
+	b.htab = make([]int32, 2*len(old))
+	b.hshift--
+	mask := uint64(len(b.htab) - 1)
+	for _, e := range old {
+		if e == 0 {
+			continue
+		}
+		idx := b.hashIdx(b.gates[e-1])
+		for b.htab[idx] != 0 {
+			idx = (idx + 1) & mask
+		}
+		b.htab[idx] = e
+	}
 }
 
 // NumNodes returns the number of allocated nodes (gates + inputs),
@@ -76,9 +111,9 @@ func (b *Builder) Input(name string) Node {
 	idx := int32(len(b.gates))
 	b.gates = append(b.gates, gate{})
 	b.isVar = append(b.isVar, true)
+	b.names = append(b.names, name)
 	n := Node(idx << 1)
 	b.inputs = append(b.inputs, n)
-	b.names[n] = name
 	return n
 }
 
@@ -86,7 +121,10 @@ func (b *Builder) Input(name string) Node {
 func (b *Builder) Inputs() []Node { return b.inputs }
 
 // Name returns the debug name of an input node.
-func (b *Builder) Name(n Node) string { return b.names[n&^1] }
+func (b *Builder) Name(n Node) string { return b.names[n.index()] }
+
+// IsInput reports whether n references a free input node.
+func (b *Builder) IsInput(n Node) bool { return b.isVar[n.index()] }
 
 // And returns the conjunction of x and y with constant folding and
 // structural hashing.
@@ -109,16 +147,29 @@ func (b *Builder) And(x, y Node) Node {
 		x, y = y, x
 	}
 	g := gate{x, y}
-	if n, ok := b.hash[g]; ok {
-		b.hashHits++
-		return n
+	mask := uint64(len(b.htab) - 1)
+	slot := b.hashIdx(g)
+	for {
+		e := b.htab[slot]
+		if e == 0 {
+			break
+		}
+		if b.gates[e-1] == g {
+			b.hashHits++
+			return Node((e - 1) << 1)
+		}
+		slot = (slot + 1) & mask
 	}
 	idx := int32(len(b.gates))
 	b.gates = append(b.gates, g)
 	b.isVar = append(b.isVar, false)
-	n := Node(idx << 1)
-	b.hash[g] = n
-	return n
+	b.names = append(b.names, "")
+	b.htab[slot] = idx + 1
+	b.hcount++
+	if 10*b.hcount >= 7*len(b.htab) {
+		b.hrehash()
+	}
+	return Node(idx << 1)
 }
 
 // Or returns the disjunction of x and y.
@@ -144,8 +195,13 @@ func (b *Builder) Mux(sel, t, f Node) Node {
 	return b.Or(b.And(sel, t), b.And(sel.Not(), f))
 }
 
-// AndAll folds And over all nodes (True for empty input).
-func (b *Builder) AndAll(ns ...Node) Node {
+// AndAll folds And over all nodes (True for empty input). Spreading
+// an existing slice (b.AndAll(v.Bits...)) passes it through without
+// copying, so the fold allocates nothing.
+func (b *Builder) AndAll(ns ...Node) Node { return b.AndSlice(ns) }
+
+// AndSlice folds And over a node slice with no variadic boxing.
+func (b *Builder) AndSlice(ns []Node) Node {
 	acc := True
 	for _, n := range ns {
 		acc = b.And(acc, n)
@@ -153,8 +209,12 @@ func (b *Builder) AndAll(ns ...Node) Node {
 	return acc
 }
 
-// OrAll folds Or over all nodes (False for empty input).
-func (b *Builder) OrAll(ns ...Node) Node {
+// OrAll folds Or over all nodes (False for empty input); see AndAll
+// for the allocation contract.
+func (b *Builder) OrAll(ns ...Node) Node { return b.OrSlice(ns) }
+
+// OrSlice folds Or over a node slice with no variadic boxing.
+func (b *Builder) OrSlice(ns []Node) Node {
 	acc := False
 	for _, n := range ns {
 		acc = b.Or(acc, n)
@@ -164,46 +224,31 @@ func (b *Builder) OrAll(ns ...Node) Node {
 
 // Eval computes the value of node n under the assignment env, which
 // maps input nodes (non-complemented) to values. Missing inputs default
-// to false. Results are memoized in the provided cache (may be nil).
+// to false. It is a thin wrapper over the dense bit-parallel evaluator
+// (see Sim): the first call runs one linear pass over the whole node
+// table and, when a cache is supplied, spills every node's value into
+// it, so repeated calls sharing a cache under one fixed env are O(1)
+// lookups. Hot paths that decode many nodes should use Sim directly.
 func (b *Builder) Eval(n Node, env map[Node]bool, cache map[int32]bool) bool {
-	if cache == nil {
-		cache = make(map[int32]bool)
-	}
-	v := b.evalIdx(n.index(), env, cache)
-	if n.compl() {
-		return !v
-	}
-	return v
-}
-
-func (b *Builder) evalIdx(idx int32, env map[Node]bool, cache map[int32]bool) bool {
-	if idx == 0 {
-		return false
-	}
-	if v, ok := cache[idx]; ok {
+	if v, ok := cache[n.index()]; ok {
+		if n.compl() {
+			return !v
+		}
 		return v
 	}
-	var v bool
-	if b.isVar[idx] {
-		v = env[Node(idx<<1)]
-	} else {
-		g := b.gates[idx]
-		av := b.evalIdx(g.a.index(), env, cache)
-		if g.a.compl() {
-			av = !av
-		}
-		if !av {
-			v = false
-		} else {
-			bv := b.evalIdx(g.b.index(), env, cache)
-			if g.b.compl() {
-				bv = !bv
-			}
-			v = bv
+	s := NewSim(b)
+	for in, v := range env {
+		if v {
+			s.SetInput(in, ^uint64(0))
 		}
 	}
-	cache[idx] = v
-	return v
+	s.Run()
+	if cache != nil {
+		for idx := range s.vals {
+			cache[int32(idx)] = s.vals[idx]&1 == 1
+		}
+	}
+	return s.Bit(n, 0)
 }
 
 // CNF incrementally Tseitin-encodes circuit nodes into a sat.Solver.
@@ -215,17 +260,34 @@ func (b *Builder) evalIdx(idx int32, env map[Node]bool, cache map[int32]bool) bo
 type CNF struct {
 	b         *Builder
 	solver    *sat.Solver
-	varOf     map[int32]int // node index -> sat var
-	highWater int32         // largest node index encoded so far
+	varOf     []int32 // node index -> sat var (dense; -1 = not encoded)
+	encoded   int     // nodes emitted so far
+	highWater int32   // largest node index encoded so far
+	stack     []cnfFrame
+}
+
+type cnfFrame struct {
+	idx      int32
+	expanded bool
 }
 
 // NewCNF creates a CNF emitter targeting the given solver.
 func NewCNF(b *Builder, s *sat.Solver) *CNF {
-	return &CNF{b: b, solver: s, varOf: map[int32]int{}}
+	return &CNF{b: b, solver: s}
 }
 
 // Encoded returns the number of circuit nodes already emitted as CNF.
-func (c *CNF) Encoded() int { return len(c.varOf) }
+func (c *CNF) Encoded() int { return c.encoded }
+
+// varFor looks up the sat var of a node index (-1 when not encoded).
+// The table is dense over the builder's node indices and grows with
+// it — emission-path lookups are array reads, not map probes.
+func (c *CNF) varFor(idx int32) int32 {
+	if int(idx) >= len(c.varOf) {
+		return -1
+	}
+	return c.varOf[idx]
+}
 
 // HighWater returns the largest node index encoded so far: nodes at or
 // below the mark may already be in the solver, nodes above it are
@@ -240,40 +302,28 @@ func (c *CNF) Solver() *sat.Solver { return c.solver }
 // dedicated always-true variable.
 func (c *CNF) Lit(n Node) sat.Lit {
 	idx := n.index()
-	v, ok := c.varOf[idx]
-	if !ok {
-		v = c.encode(idx)
+	v := c.varFor(idx)
+	if v < 0 {
+		v = int32(c.encode(idx))
 	}
-	return sat.NewLit(v, n.compl())
+	return sat.NewLit(int(v), n.compl())
 }
 
 func (c *CNF) encode(idx int32) int {
-	if v, ok := c.varOf[idx]; ok {
-		return v
+	if v := c.varFor(idx); v >= 0 {
+		return int(v)
 	}
-	if idx == 0 {
-		v := c.solver.NewVar()
-		// constant-false variable
-		c.solver.AddClause(sat.NewLit(v, true))
-		c.setVar(0, v)
-		return v
-	}
-	if c.b.isVar[idx] {
-		v := c.solver.NewVar()
-		c.setVar(idx, v)
-		return v
+	if idx == 0 || c.b.isVar[idx] {
+		c.encodeLeaf(idx)
+		return int(c.varOf[idx])
 	}
 	// Iterative post-order encoding to avoid deep recursion on long
-	// temporal chains.
-	type frame struct {
-		idx      int32
-		expanded bool
-	}
-	stack := []frame{{idx, false}}
+	// temporal chains; the traversal stack is reused across calls.
+	stack := append(c.stack[:0], cnfFrame{idx, false})
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if _, done := c.varOf[f.idx]; done {
+		if c.varFor(f.idx) >= 0 {
 			continue
 		}
 		if f.idx == 0 || c.b.isVar[f.idx] {
@@ -282,8 +332,8 @@ func (c *CNF) encode(idx int32) int {
 		}
 		g := c.b.gates[f.idx]
 		ai, bi := g.a.index(), g.b.index()
-		_, aDone := c.varOf[ai]
-		_, bDone := c.varOf[bi]
+		aDone := c.varFor(ai) >= 0
+		bDone := c.varFor(bi) >= 0
 		if f.expanded || (aDone && bDone) {
 			if !aDone {
 				c.encodeLeaf(ai)
@@ -294,28 +344,38 @@ func (c *CNF) encode(idx int32) int {
 			c.emitAnd(f.idx, g)
 			continue
 		}
-		stack = append(stack, frame{f.idx, true})
+		stack = append(stack, cnfFrame{f.idx, true})
 		if !aDone {
-			stack = append(stack, frame{ai, false})
+			stack = append(stack, cnfFrame{ai, false})
 		}
 		if !bDone {
-			stack = append(stack, frame{bi, false})
+			stack = append(stack, cnfFrame{bi, false})
 		}
 	}
-	return c.varOf[idx]
+	c.stack = stack[:0]
+	return int(c.varOf[idx])
 }
 
 // setVar records the sat variable for a node and advances the
 // high-water emission mark.
 func (c *CNF) setVar(idx int32, v int) {
-	c.varOf[idx] = v
+	if n := len(c.b.gates); len(c.varOf) < n {
+		grown := make([]int32, n+n/2)
+		copy(grown, c.varOf)
+		for i := len(c.varOf); i < len(grown); i++ {
+			grown[i] = -1
+		}
+		c.varOf = grown
+	}
+	c.varOf[idx] = int32(v)
+	c.encoded++
 	if idx > c.highWater {
 		c.highWater = idx
 	}
 }
 
 func (c *CNF) encodeLeaf(idx int32) {
-	if _, ok := c.varOf[idx]; ok {
+	if c.varFor(idx) >= 0 {
 		return
 	}
 	v := c.solver.NewVar()
@@ -326,7 +386,7 @@ func (c *CNF) encodeLeaf(idx int32) {
 }
 
 func (c *CNF) emitAnd(idx int32, g gate) {
-	if _, ok := c.varOf[idx]; ok {
+	if c.varFor(idx) >= 0 {
 		return
 	}
 	v := c.solver.NewVar()
@@ -341,11 +401,11 @@ func (c *CNF) emitAnd(idx int32, g gate) {
 }
 
 func (c *CNF) litOf(n Node) sat.Lit {
-	v, ok := c.varOf[n.index()]
-	if !ok {
+	v := c.varFor(n.index())
+	if v < 0 {
 		panic(fmt.Sprintf("logic: child node %d not yet encoded", n.index()))
 	}
-	return sat.NewLit(v, n.compl())
+	return sat.NewLit(int(v), n.compl())
 }
 
 // Assert adds a unit clause requiring node n to be true.
@@ -370,8 +430,8 @@ func (c *CNF) Retire(act Node) {
 
 // InputValue reads the value of an input node from a sat model.
 func (c *CNF) InputValue(model []bool, n Node) bool {
-	v, ok := c.varOf[n.index()]
-	if !ok {
+	v := c.varFor(n.index())
+	if v < 0 {
 		return false // unconstrained input: any value works; pick false
 	}
 	val := model[v]

@@ -27,25 +27,76 @@ type ElabError struct{ Reason string }
 
 func (e *ElabError) Error() string { return "ltl: elaboration: " + e.Reason }
 
-// ExprEval bit-blasts boolean-layer SVA expressions.
+// ExprEval bit-blasts boolean-layer SVA expressions. Results are
+// memoized per (expression, position): the boolean layer is
+// loop-structure-independent, so one evaluator shared by a family of
+// lasso evaluators (or a deepening frame unroll) elaborates each atom
+// instance once instead of once per loop shape or depth.
 type ExprEval struct {
 	Ops bitvec.Ops
 	Env Env
+
+	// Memos are keyed by expression, then indexed by position: one
+	// interface-hash per call instead of hashing an (expr, pos) pair,
+	// and far fewer map entries. noNode marks empty bool slots; a nil
+	// Bits slice marks empty vector slots (a miss there merely
+	// recomputes).
+	boolMemo map[sva.Expr][]logic.Node
+	evalMemo map[sva.Expr][]bitvec.BV
+}
+
+// noNode is the empty-slot sentinel of the position-indexed memos
+// (never a valid node reference).
+const noNode = logic.Node(-1)
+
+// growNodes returns s extended to hold index pos, filling with noNode.
+func growNodes(s []logic.Node, pos int) []logic.Node {
+	for len(s) <= pos {
+		s = append(s, noNode)
+	}
+	return s
 }
 
 // Bool evaluates an expression at a position and reduces it to its
 // truth value.
 func (ev *ExprEval) Bool(e sva.Expr, pos int) (logic.Node, error) {
+	m := ev.boolMemo[e]
+	if pos < len(m) && m[pos] != noNode {
+		return m[pos], nil
+	}
 	v, err := ev.eval(e, pos, 0)
 	if err != nil {
 		return logic.False, err
 	}
-	return ev.Ops.Bool(v), nil
+	n := ev.Ops.Bool(v)
+	if ev.boolMemo == nil {
+		ev.boolMemo = map[sva.Expr][]logic.Node{}
+	}
+	m = growNodes(m, pos)
+	m[pos] = n
+	ev.boolMemo[e] = m
+	return n, nil
 }
 
 // Eval evaluates an expression at a position to a bit-vector.
 func (ev *ExprEval) Eval(e sva.Expr, pos int) (bitvec.BV, error) {
-	return ev.eval(e, pos, 0)
+	m := ev.evalMemo[e]
+	if pos < len(m) && m[pos].Bits != nil {
+		return m[pos], nil
+	}
+	v, err := ev.eval(e, pos, 0)
+	if err != nil {
+		return bitvec.BV{}, err
+	}
+	if ev.evalMemo == nil {
+		ev.evalMemo = map[sva.Expr][]bitvec.BV{}
+	}
+	for len(m) <= pos {
+		m = append(m, bitvec.BV{})
+	}
+	m[pos] = v
+	ev.evalMemo[e] = m
+	return v, nil
 }
 
 // Width computes the self-determined width of an expression; elastic

@@ -15,12 +15,10 @@ type LassoEval struct {
 	Ev   *ExprEval
 	K, L int
 
-	memo map[fposKey]logic.Node
-}
-
-type fposKey struct {
-	f   Formula
-	pos int
+	// memo is keyed by formula, then indexed by position (positions on
+	// a (K, L)-lasso are always < K): one interface-hash per Truth call
+	// and a dense slice behind it.
+	memo map[Formula][]logic.Node
 }
 
 // NewLassoEval constructs an evaluator for a (K, L)-lasso.
@@ -28,7 +26,7 @@ func NewLassoEval(ev *ExprEval, k, l int) *LassoEval {
 	if l < 0 || l >= k {
 		panic("ltl: loop position out of range")
 	}
-	return &LassoEval{Ev: ev, K: k, L: l, memo: map[fposKey]logic.Node{}}
+	return &LassoEval{Ev: ev, K: k, L: l, memo: map[Formula][]logic.Node{}}
 }
 
 func (le *LassoEval) succ(i int) int {
@@ -80,15 +78,24 @@ func (le *LassoEval) path(i int) []int {
 // Truth returns the circuit node representing "f holds at position
 // pos" on this lasso.
 func (le *LassoEval) Truth(f Formula, pos int) (logic.Node, error) {
-	key := fposKey{f, pos}
-	if n, ok := le.memo[key]; ok {
-		return n, nil
+	m := le.memo[f]
+	if m == nil {
+		m = make([]logic.Node, le.K)
+		for i := range m {
+			m[i] = noNode
+		}
+		le.memo[f] = m
+	}
+	if pos < len(m) && m[pos] != noNode {
+		return m[pos], nil
 	}
 	n, err := le.truth(f, pos)
 	if err != nil {
 		return logic.False, err
 	}
-	le.memo[key] = n
+	if pos < len(m) {
+		m[pos] = n
+	}
 	return n, nil
 }
 

@@ -6,9 +6,12 @@ import (
 	"testing"
 
 	"fveval/internal/bitvec"
+	"fveval/internal/formal"
+	"fveval/internal/gen/rtlgen"
 	"fveval/internal/logic"
 	"fveval/internal/rtl"
 	"fveval/internal/sat"
+	"fveval/internal/sva"
 )
 
 // TestSymbolicMatchesConcreteSimulation cross-checks the symbolic
@@ -109,12 +112,11 @@ endmodule`, "sh"},
 			if err != nil || !ok {
 				t.Fatalf("pinned trace must be satisfiable: %v %v", ok, err)
 			}
-			assign := inputAssign(fe, cnf, model)
-			cache := map[int32]bool{}
+			sim := modelSim(fe, cnf, model)
 			for p := 0; p < frames; p++ {
 				for _, r := range sys.Regs {
 					bv := fe.states[sigPos{r.Name, p}]
-					got := decodeBVWith(b, bv, assign, cache)
+					got := decodeBVLane(bv, sim, 0)
 					want := concrete[p][r.Name]
 					if got != want {
 						t.Fatalf("frame %d reg %s: symbolic %d concrete %d",
@@ -126,17 +128,76 @@ endmodule`, "sh"},
 	}
 }
 
-func decodeBVWith(b *logic.Builder, bv bitvec.BV, assign map[logic.Node]bool, cache map[int32]bool) uint64 {
-	var v uint64
-	for i, bit := range bv.Bits {
-		if i >= 64 {
-			break
+// TestPrefilterVsSolverCrossCheck fuzzes the simulation prefilter
+// against the pure-SAT safety checker on generated designs: the
+// ground-truth assertions (proven), their mutated variants (mostly
+// falsified), and negations must produce identical Status and Depth
+// with the prefilter on and off, sharing one pattern bank across the
+// corpus the way an engine run does.
+func TestPrefilterVsSolverCrossCheck(t *testing.T) {
+	bank := formal.NewBank(0)
+	var st formal.Stats
+	seen := map[Status]int{}
+	compare := func(sys *rtl.System, src, tag string) {
+		t.Helper()
+		a, err := sva.ParseAssertion(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tag, err)
 		}
-		if b.Eval(bit, assign, cache) {
-			v |= 1 << uint(i)
+		got, err1 := CheckAssertion(sys, a, Options{SimPatterns: 128, Bank: bank, Stats: &st})
+		want, err2 := CheckAssertion(sys, a, Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: error disagreement: prefilter=%v solver=%v\n%s", tag, err1, err2, src)
 		}
+		if err1 != nil {
+			return
+		}
+		if got.Status != want.Status || got.Depth != want.Depth {
+			t.Fatalf("%s: disagreement: prefilter=%v@%d solver=%v@%d\n%s",
+				tag, got.Status, got.Depth, want.Status, want.Depth, src)
+		}
+		if got.Status == Falsified && got.Cex == nil {
+			t.Fatalf("%s: falsified without a counterexample", tag)
+		}
+		seen[got.Status]++
 	}
-	return v
+
+	for seed := int64(1); seed <= 4; seed++ {
+		inst := rtlgen.GenerateFSM(rtlgen.FSMParams{States: 5, Edges: 8, Width: 8, Complexity: 2, Seed: seed})
+		f, err := rtl.Parse(inst.Design + "\n" + inst.Bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := rtl.ElaborateBound(f, inst.DUTTop, inst.BenchTop, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		succ := inst.FSM.Succ[0]
+		body := "fsm_out == S0 |=> ("
+		for i, tr := range succ {
+			if i > 0 {
+				body += " || "
+			}
+			body += "fsm_out == S" + fmt.Sprint(tr)
+		}
+		body += ")"
+		head := "assert property (@(posedge clk) disable iff (tb_reset) "
+		compare(sys, head+body+");", "ground-truth")
+		// A state the FSM can leave: claiming it is a sink is falsified.
+		compare(sys, head+"fsm_out == S0 |=> fsm_out == S0);", "sink-claim")
+		// A reachable-state exclusion must falsify quickly.
+		compare(sys, head+"fsm_out != S0);", "excluded-state")
+		// Trivial tautology and contradiction exercise the constant
+		// paths of the prefilter.
+		compare(sys, head+"1'b1);", "tautology")
+		compare(sys, head+"fsm_out == S0 |-> 1'b0);", "contradiction")
+	}
+	if len(seen) < 2 {
+		t.Fatalf("fuzz corpus too narrow: statuses seen = %v", seen)
+	}
+	if st.Snapshot().Sim.Refutations == 0 {
+		t.Fatal("prefilter never refuted anything; the cross-check is vacuous")
+	}
 }
 
 // TestGeneratedDesignsProveGroundTruth sweeps a sample of generated

@@ -22,6 +22,7 @@ package mc
 
 import (
 	"fmt"
+	"strconv"
 
 	"fveval/internal/bitvec"
 	"fveval/internal/formal"
@@ -75,6 +76,18 @@ type Options struct {
 	BMCDepth     int   // plain BMC falsification depth (default 16)
 	LassoBound   int   // lasso length for liveness (default 10)
 	Budget       int64 // SAT conflict budget per query (0 = unlimited)
+	// SimPatterns enables the bit-parallel simulation prefilter for
+	// safety checks (DESIGN.md §10): this many random patterns (in
+	// 64-lane rounds, plus recycled Bank patterns) are simulated over
+	// the concrete unrolled frames before each BMC or induction solve,
+	// and a lane satisfying the violation discharges the depth — as a
+	// falsification witness for BMC, as a step refutation for
+	// induction — without touching the solver. 0 disables. Refute-only,
+	// so verdicts are identical either way.
+	SimPatterns int
+	// Bank, when non-nil, supplies recycled counterexample patterns to
+	// the prefilter and receives every SAT model found here.
+	Bank *formal.Bank
 	// Stats, when non-nil, receives solver-reuse counters from the
 	// incremental sessions. Never affects verdicts.
 	Stats *formal.Stats
@@ -286,7 +299,7 @@ func (fe *frameEnv) Signal(name string, pos int) (bitvec.BV, error) {
 			return v, nil
 		}
 		w := fe.sys.Widths[name]
-		v := bitvec.Inputs(fe.b, fmt.Sprintf("%s@%d", name, pos), w)
+		v := bitvec.Inputs(fe.b, name+"@"+strconv.Itoa(pos), w)
 		fe.inputs[key] = v
 		return v, nil
 	}
@@ -388,6 +401,7 @@ type safetySession struct {
 	abort   sva.Expr
 	assumes []ltl.Formula
 	d       int
+	opt     Options
 
 	b      *logic.Builder
 	fe     *frameEnv
@@ -398,6 +412,23 @@ type safetySession struct {
 	frames   int   // frames currently unrolled
 	asmNext  []int // per assumption: next position to assert
 	goodNext int   // induction: good-attempt constraints asserted below this
+
+	// Path constraints (assumption instances, good-attempt clauses)
+	// are collected here and only flushed into the CNF right before a
+	// real solver call, so a run the prefilter fully discharges never
+	// pays for Tseitin encoding at all. conj is the running
+	// conjunction of every constraint for the simulation side (one new
+	// gate per constraint, not one chain per query); pending holds the
+	// suffix the solver has not seen yet.
+	conj    logic.Node
+	pending []logic.Node
+
+	// Bit-parallel prefilter state (nil / zero when disabled).
+	sim      *logic.Sim
+	banked   []formal.Pattern
+	rng      uint64
+	scratch  []uint64 // per-signal lane-word buffer, reused across rounds
+	freeInit bool
 
 	solves, conflicts, learntKept, hashMark int64
 }
@@ -412,11 +443,159 @@ func newSafetySession(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []
 		// mirroring the former one-solver-per-query accounting.
 		s.SetBudget(opt.Budget)
 	}
-	return &safetySession{
-		sys: sys, f: f, abort: abort, assumes: assumes, d: d,
+	ss := &safetySession{
+		sys: sys, f: f, abort: abort, assumes: assumes, d: d, opt: opt,
 		b: b, fe: fe, family: ltl.NewLassoFamily(fe.ev),
 		s: s, cnf: logic.NewCNF(b, s),
-		asmNext: make([]int, len(assumes)),
+		asmNext:  make([]int, len(assumes)),
+		conj:     logic.True,
+		freeInit: freeInit,
+	}
+	if opt.SimPatterns > 0 {
+		ss.sim = logic.NewSim(b)
+		ss.banked = opt.Bank.Patterns(64)
+		// Fixed seed: deterministic pattern stream per session.
+		ss.rng = 0x5eed5eed5eed5eed
+	}
+	return ss
+}
+
+// addConstraint records a permanent path constraint: visible to the
+// prefilter immediately (folded into the running conjunction),
+// asserted into the CNF lazily.
+func (ss *safetySession) addConstraint(n logic.Node) {
+	ss.conj = ss.b.And(ss.conj, n)
+	ss.pending = append(ss.pending, n)
+}
+
+// simRefute simulates banked + random patterns over the session's
+// path constraints conjoined with the violation v. A satisfying lane
+// is a complete concrete witness for the depth's SAT query — the
+// caller reads it off the still-warm Sim. Missing is not a verdict.
+func (ss *safetySession) simRefute(v logic.Node) (int, bool, bool) {
+	if ss.sim == nil {
+		return 0, false, false
+	}
+	target := ss.b.And(v, ss.conj)
+	if target == logic.False {
+		return 0, false, false
+	}
+	// Refresh the bank snapshot per query: models found earlier in this
+	// very session (or by its sibling) are the best predictors of the
+	// next depth's refutation.
+	ss.banked = ss.opt.Bank.Patterns(64)
+	// Free-initial-state sessions get one structured round first: lane
+	// j seeds every register with the small value j, sweeping all 64
+	// low state encodings at once — for the benchmark's FSM and
+	// shallow-pipeline designs this covers the entire state space
+	// deterministically, where uniform random 16-bit states almost
+	// never land on a valid encoding.
+	if ss.freeInit {
+		ss.setSimInputs(-1, 0)
+		ss.sim.Run()
+		ss.opt.Stats.SimPatterns(64)
+		if lane, ok := ss.sim.FirstLane(target); ok {
+			return lane, true, false
+		}
+	}
+	remaining := ss.opt.SimPatterns
+	for round := 0; remaining > 0 || (round == 0 && len(ss.banked) > 0); round++ {
+		bankLanes := 0
+		if round == 0 {
+			bankLanes = len(ss.banked)
+		}
+		bankMask := ^uint64(0)
+		if bankLanes < 64 {
+			bankMask = 1<<uint(bankLanes) - 1
+		}
+		ss.setSimInputs(bankLanes, bankMask)
+		ss.sim.Run()
+		ss.opt.Stats.SimPatterns(64)
+		remaining -= 64 - bankLanes
+		if lane, ok := ss.sim.FirstLane(target); ok {
+			return lane, true, lane < bankLanes
+		}
+	}
+	return 0, false, false
+}
+
+// laneIndexMasks[i] holds bit i of the lane number in every lane:
+// loading them into a register's low bits makes lane j's register
+// value equal j.
+var laneIndexMasks = [6]uint64{
+	0xaaaaaaaaaaaaaaaa, 0xcccccccccccccccc, 0xf0f0f0f0f0f0f0f0,
+	0xff00ff00ff00ff00, 0xffff0000ffff0000, 0xffffffff00000000,
+}
+
+// setSimInputs loads one round of patterns: free inputs at every
+// unrolled frame, plus the free initial registers of an induction
+// session. Iteration follows the system's declaration order, keeping
+// the random stream deterministic. bankLanes < 0 selects the
+// structured state round: random inputs, lane-index register values.
+func (ss *safetySession) setSimInputs(bankLanes int, bankMask uint64) {
+	structured := bankLanes < 0
+	if structured {
+		bankLanes = 0
+	}
+	load := func(bv bitvec.BV, fill func(words []uint64)) {
+		if cap(ss.scratch) < len(bv.Bits) {
+			ss.scratch = make([]uint64, len(bv.Bits))
+		}
+		words := ss.scratch[:len(bv.Bits)]
+		fill(words)
+		for i, bit := range bv.Bits {
+			if bit.IsConst() {
+				continue
+			}
+			ss.sim.SetInput(bit, words[i]|formal.SplitMix64(&ss.rng)&^bankMask)
+		}
+	}
+	zero := func(words []uint64) {
+		for i := range words {
+			words[i] = 0
+		}
+	}
+	for _, in := range ss.sys.Inputs {
+		for p := 0; p < ss.frames; p++ {
+			bv, ok := ss.fe.inputs[sigPos{in.Name, p}]
+			if !ok {
+				continue
+			}
+			if bankLanes > 0 {
+				load(bv, func(w []uint64) { formal.LaneWords(ss.banked, bankLanes, in.Name, p, w) })
+			} else {
+				load(bv, zero)
+			}
+		}
+	}
+	if ss.freeInit {
+		// Free initial registers seed from the banked traces' first
+		// frame: recycled valid-looking states refute induction steps
+		// where uniform random state bits rarely do (empirically they
+		// beat deep-frame states, which tend to sit mid-violation).
+		for _, r := range ss.sys.Regs {
+			bv, ok := ss.fe.states[sigPos{r.Name, 0}]
+			if !ok {
+				continue
+			}
+			switch {
+			case structured:
+				for i, bit := range bv.Bits {
+					if bit.IsConst() {
+						continue
+					}
+					w := uint64(0)
+					if i < len(laneIndexMasks) {
+						w = laneIndexMasks[i]
+					}
+					ss.sim.SetInput(bit, w)
+				}
+			case bankLanes > 0:
+				load(bv, func(w []uint64) { formal.LaneWords(ss.banked, bankLanes, r.Name, 0, w) })
+			default:
+				load(bv, zero)
+			}
+		}
 	}
 }
 
@@ -441,7 +620,7 @@ func (ss *safetySession) grow(n int) (*ltl.LassoEval, error) {
 			if err != nil {
 				return nil, err
 			}
-			ss.cnf.Assert(node)
+			ss.addConstraint(node)
 			ss.asmNext[i] = p + 1
 		}
 	}
@@ -450,8 +629,14 @@ func (ss *safetySession) grow(n int) (*ltl.LassoEval, error) {
 
 // solveGated solves under a fresh activation literal guarding node v;
 // on UNSAT the activation is retired so later depths drop the
-// constraint but keep everything learnt.
+// constraint but keep everything learnt. Pending path constraints are
+// flushed into the CNF first (in the order they accumulated, so the
+// encoding matches the eager-assertion layout exactly).
 func (ss *safetySession) solveGated(name string, v logic.Node) (bool, []bool, error) {
+	for _, n := range ss.pending {
+		ss.cnf.Assert(n)
+	}
+	ss.pending = ss.pending[:0]
 	act := ss.b.Input(name)
 	ss.cnf.AssertIf(act, v)
 	pre := ss.s.Stats()
@@ -485,6 +670,14 @@ func (ss *safetySession) checkDepth(k int) (*Cex, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Refute before solving: a simulated lane violating the frontier
+	// attempt under all path constraints is already the
+	// counterexample — the solver (and, if nothing was solved yet, the
+	// whole Tseitin encoding) is skipped.
+	if lane, hit, fromBank := ss.simRefute(v); hit {
+		ss.opt.Stats.SimRefuted(fromBank, 1)
+		return decodeCexLane(ss.sys, ss.fe, ss.sim, lane, ss.frames, -1), nil
+	}
 	ok, model, err := ss.solveGated(fmt.Sprintf("bmc_act@%d", k), v)
 	if err != nil {
 		return nil, err
@@ -492,7 +685,9 @@ func (ss *safetySession) checkDepth(k int) (*Cex, error) {
 	if !ok {
 		return nil, nil
 	}
-	return decodeCex(ss.sys, ss.fe, ss.cnf, model, ss.frames, -1), nil
+	cex := decodeCex(ss.sys, ss.fe, ss.cnf, model, ss.frames, -1)
+	bankCex(ss.opt.Bank, cex)
+	return cex, nil
 }
 
 // induct checks whether k consecutive good attempts from an arbitrary
@@ -509,16 +704,28 @@ func (ss *safetySession) induct(k int) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		ss.cnf.Assert(v.Not())
+		ss.addConstraint(v.Not())
 	}
 	ss.goodNext = k
 	v, err := violation(ss.fe, le, ss.f, ss.abort, k, ss.d, false)
 	if err != nil {
 		return false, err
 	}
-	ok, _, err := ss.solveGated(fmt.Sprintf("ind_act@%d", k), v)
+	// A simulated lane with k good attempts followed by a bad one is a
+	// concrete refutation of the induction step: report "not
+	// inductive" without opening the solver.
+	if _, hit, fromBank := ss.simRefute(v); hit {
+		ss.opt.Stats.SimRefuted(fromBank, 1)
+		return false, nil
+	}
+	ok, model, err := ss.solveGated(fmt.Sprintf("ind_act@%d", k), v)
 	if err != nil {
 		return false, err
+	}
+	if ok && ss.opt.Bank != nil {
+		// Fold the refuting model (free initial state + stimulus) into
+		// the bank: it seeds the prefilter for later depths and runs.
+		bankCex(ss.opt.Bank, decodeCex(ss.sys, ss.fe, ss.cnf, model, ss.frames, -1))
 	}
 	return !ok, nil
 }
@@ -659,51 +866,58 @@ func checkLiveness(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl
 		return Result{Status: Proven, Bounded: true, Depth: k}, nil
 	}
 	loop := -1
-	assign := inputAssign(fe, cnf, model)
-	cache := map[int32]bool{}
+	sim := modelSim(fe, cnf, model)
 	for l, node := range perLoop {
-		if b.Eval(node, assign, cache) {
+		if sim.Bit(node, 0) {
 			loop = l
 			break
 		}
 	}
-	return Result{Status: Falsified, Depth: k, Cex: decodeCex(sys, fe, cnf, model, k, loop)}, nil
+	return Result{Status: Falsified, Depth: k, Cex: decodeCexLane(sys, fe, sim, 0, k, loop)}, nil
 }
 
-func inputAssign(fe *frameEnv, cnf *logic.CNF, model []bool) map[logic.Node]bool {
-	assign := map[logic.Node]bool{}
-	for _, bv := range fe.inputs {
+// modelSim broadcasts a SAT model's free-variable values into a
+// one-lane run of the dense bit-parallel evaluator; derived nets and
+// register states are recomputed from the inputs, exactly as the
+// map-based evaluator did.
+func modelSim(fe *frameEnv, cnf *logic.CNF, model []bool) *logic.Sim {
+	sim := logic.NewSim(fe.b)
+	set := func(bv bitvec.BV) {
 		for _, bit := range bv.Bits {
-			if !bit.IsConst() {
-				assign[bit] = cnf.InputValue(model, bit)
+			if !bit.IsConst() && fe.b.IsInput(bit) && cnf.InputValue(model, bit) != bit.Compl() {
+				sim.SetInput(bit, ^uint64(0))
 			}
 		}
+	}
+	for _, bv := range fe.inputs {
+		set(bv)
 	}
 	for _, bv := range fe.states {
-		for _, bit := range bv.Bits {
-			if !bit.IsConst() {
-				assign[bit] = cnf.InputValue(model, bit)
-			}
-		}
+		set(bv)
 	}
-	return assign
+	sim.Run()
+	return sim
 }
 
 func decodeCex(sys *rtl.System, fe *frameEnv, cnf *logic.CNF, model []bool, n, loop int) *Cex {
-	assign := inputAssign(fe, cnf, model)
+	return decodeCexLane(sys, fe, modelSim(fe, cnf, model), 0, n, loop)
+}
+
+// decodeCexLane reads one simulation lane off as a counterexample —
+// the shared decode path of SAT models (broadcast to lane 0) and
+// prefilter hits (whose lane is already a complete assignment).
+func decodeCexLane(sys *rtl.System, fe *frameEnv, sim *logic.Sim, lane, n, loop int) *Cex {
 	cex := &Cex{Loop: loop}
-	b := fe.b
-	cache := map[int32]bool{}
 	for p := 0; p < n; p++ {
 		frame := map[string]uint64{}
 		for _, in := range sys.Inputs {
 			if bv, ok := fe.inputs[sigPos{in.Name, p}]; ok {
-				frame[in.Name] = decodeBV(b, bv, assign, cache)
+				frame[in.Name] = decodeBVLane(bv, sim, lane)
 			}
 		}
 		for _, r := range sys.Regs {
 			if bv, ok := fe.states[sigPos{r.Name, p}]; ok {
-				frame[r.Name] = decodeBV(b, bv, assign, cache)
+				frame[r.Name] = decodeBVLane(bv, sim, lane)
 			}
 		}
 		cex.Frames = append(cex.Frames, frame)
@@ -711,15 +925,34 @@ func decodeCex(sys *rtl.System, fe *frameEnv, cnf *logic.CNF, model []bool, n, l
 	return cex
 }
 
-func decodeBV(b *logic.Builder, bv bitvec.BV, assign map[logic.Node]bool, cache map[int32]bool) uint64 {
+func decodeBVLane(bv bitvec.BV, sim *logic.Sim, lane int) uint64 {
 	var v uint64
 	for i, bit := range bv.Bits {
 		if i >= 64 {
 			break
 		}
-		if b.Eval(bit, assign, cache) {
+		if sim.Bit(bit, lane) {
 			v |= 1 << uint(i)
 		}
 	}
 	return v
+}
+
+// bankCex folds a decoded counterexample into the shared pattern bank
+// as a signal-level trace (inputs and register states both: register
+// names seed the free initial state of later induction sessions).
+func bankCex(bank *formal.Bank, cex *Cex) {
+	if bank == nil || cex == nil || len(cex.Frames) == 0 {
+		return
+	}
+	vals := map[string][]uint64{}
+	for p, frame := range cex.Frames {
+		for name, v := range frame {
+			if _, ok := vals[name]; !ok {
+				vals[name] = make([]uint64, len(cex.Frames))
+			}
+			vals[name][p] = v
+		}
+	}
+	bank.Add(formal.Pattern{Len: len(cex.Frames), Vals: vals})
 }

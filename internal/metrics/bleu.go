@@ -9,8 +9,14 @@ import (
 	"strings"
 )
 
+// multiOps are the multi-character operator tokens, hoisted so the
+// tokenizer's inner loop allocates nothing.
+var multiOps = []string{"|->", "|=>", "<<<", ">>>", "===", "!==", "##", "&&", "||", "==", "!=", "<=", ">="}
+
 // CodeTokens tokenizes SVA/SystemVerilog text for BLEU scoring:
-// identifiers, numbers, and operator glyphs become tokens.
+// identifiers, numbers, and operator glyphs become tokens. Every token
+// is a substring of src — the tokenizer allocates only the result
+// slice.
 func CodeTokens(src string) []string {
 	var out []string
 	i := 0
@@ -31,15 +37,14 @@ func CodeTokens(src string) []string {
 			out = append(out, src[i:j])
 			i = j
 		default:
-			// multi-char operators
-			for _, op := range []string{"|->", "|=>", "<<<", ">>>", "===", "!==", "##", "&&", "||", "==", "!=", "<=", ">="} {
+			for _, op := range multiOps {
 				if strings.HasPrefix(src[i:], op) {
 					out = append(out, op)
 					i += len(op)
 					goto next
 				}
 			}
-			out = append(out, string(c))
+			out = append(out, src[i:i+1])
 			i++
 		next:
 		}
@@ -47,20 +52,44 @@ func CodeTokens(src string) []string {
 	return out
 }
 
+// RefTokens is a pre-tokenized BLEU reference: scoring many
+// candidates against one reference (the pass@k shape) tokenizes it
+// once instead of per call.
+type RefTokens struct{ toks []string }
+
+// TokenizeRef prepares a reference for repeated BLEU scoring.
+func TokenizeRef(reference string) RefTokens {
+	return RefTokens{toks: CodeTokens(reference)}
+}
+
 // BLEU computes smoothed BLEU-4 between a candidate and a reference
 // (both raw source strings, tokenized with CodeTokens). Smoothing adds
 // one to every n-gram count (Lin & Och smoothing), keeping short
 // assertions comparable.
 func BLEU(candidate, reference string) float64 {
+	return BLEURef(candidate, TokenizeRef(reference))
+}
+
+// BLEURef is BLEU against a pre-tokenized reference.
+func BLEURef(candidate string, reference RefTokens) float64 {
 	cand := CodeTokens(candidate)
-	ref := CodeTokens(reference)
+	ref := reference.toks
 	if len(cand) == 0 || len(ref) == 0 {
 		return 0
+	}
+	// Intern tokens to dense ids once so n-gram counting below hashes
+	// small fixed-size arrays instead of joining strings.
+	ids := make(map[string]int32, len(cand)+len(ref))
+	candIDs := internTokens(cand, ids)
+	refIDs := internTokens(ref, ids)
+	overlap := ngramOverlap
+	if len(ids) >= 0xFFFF {
+		overlap = ngramOverlapWide
 	}
 	const maxN = 4
 	logSum := 0.0
 	for n := 1; n <= maxN; n++ {
-		match, total := ngramOverlap(cand, ref, n)
+		match, total := overlap(candIDs, refIDs, n)
 		// +1 smoothing for n>1 per standard practice
 		var p float64
 		if n == 1 {
@@ -84,17 +113,69 @@ func BLEU(candidate, reference string) float64 {
 	return bleu
 }
 
-func ngramOverlap(cand, ref []string, n int) (match, total int) {
+// internTokens maps tokens to dense ids (extending the shared table)
+// so n-grams compare by integer instead of string content.
+func internTokens(toks []string, ids map[string]int32) []int32 {
+	out := make([]int32, len(toks))
+	for i, t := range toks {
+		id, ok := ids[t]
+		if !ok {
+			id = int32(len(ids))
+			ids[t] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// ngram packs tokens i..i+n-1 into one uint64 key, 16 bits per token
+// with ids shifted by one so zero-padding cannot collide with id 0.
+// Callers guarantee ids fit 16 bits (ngramOverlap checks).
+func ngram(xs []int32, i, n int) uint64 {
+	var k uint64
+	for j := 0; j < n; j++ {
+		k = k<<16 | uint64(xs[i+j]+1)
+	}
+	return k
+}
+
+func ngramOverlap(cand, ref []int32, n int) (match, total int) {
 	if len(cand) < n {
 		return 0, 0
 	}
-	refCounts := map[string]int{}
+	refCounts := make(map[uint64]int, len(ref))
 	for i := 0; i+n <= len(ref); i++ {
-		refCounts[strings.Join(ref[i:i+n], "\x00")]++
+		refCounts[ngram(ref, i, n)]++
 	}
 	for i := 0; i+n <= len(cand); i++ {
 		total++
-		key := strings.Join(cand[i:i+n], "\x00")
+		key := ngram(cand, i, n)
+		if refCounts[key] > 0 {
+			refCounts[key]--
+			match++
+		}
+	}
+	return match, total
+}
+
+// ngramOverlapWide is the fallback for inputs with ≥ 2^16-1 distinct
+// tokens, where 16-bit packing would collide.
+func ngramOverlapWide(cand, ref []int32, n int) (match, total int) {
+	if len(cand) < n {
+		return 0, 0
+	}
+	wide := func(xs []int32, i int) (k [4]int32) {
+		k = [4]int32{-1, -1, -1, -1}
+		copy(k[:], xs[i:i+n])
+		return k
+	}
+	refCounts := make(map[[4]int32]int, len(ref))
+	for i := 0; i+n <= len(ref); i++ {
+		refCounts[wide(ref, i)]++
+	}
+	for i := 0; i+n <= len(cand); i++ {
+		total++
+		key := wide(cand, i)
 		if refCounts[key] > 0 {
 			refCounts[key]--
 			match++

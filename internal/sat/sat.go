@@ -213,8 +213,15 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		panic("sat: AddClause called at non-root decision level")
 	}
 	// Normalize: sort-free dedupe, drop false lits, detect tautology.
-	out := lits[:0:0]
-	seen := map[Lit]bool{}
+	// Clauses here are tiny (Tseitin emits 2-3 literals), so a linear
+	// scan over a stack buffer replaces the per-call map the old
+	// normalization allocated — AddClause runs ~3× per encoded gate
+	// and was a top allocation site of the whole backend.
+	var buf [8]Lit
+	out := buf[:0]
+	if len(lits) > len(buf) {
+		out = make([]Lit, 0, len(lits))
+	}
 	for _, l := range lits {
 		if l.Var() <= 0 || l.Var() > s.nVars {
 			panic(fmt.Sprintf("sat: literal %v references unallocated variable", l))
@@ -225,11 +232,16 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		case lFalse:
 			continue
 		}
-		if seen[l.Not()] {
-			return true // tautology
+		dup := false
+		for _, o := range out {
+			if o == l.Not() {
+				return true // tautology
+			}
+			if o == l {
+				dup = true
+			}
 		}
-		if !seen[l] {
-			seen[l] = true
+		if !dup {
 			out = append(out, l)
 		}
 	}
@@ -245,7 +257,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		}
 		return true
 	}
-	c := &clause{lits: out}
+	c := &clause{lits: append([]Lit(nil), out...)}
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true

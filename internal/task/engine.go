@@ -178,7 +178,7 @@ func (e *Engine) execute(ctx context.Context, spec *Spec, p Params, eng *engine.
 			Hits:   cache1.Hits - cache0.Hits,
 			Misses: cache1.Misses - cache0.Misses,
 		},
-		Formal: subSnapshot(formal1, formal0),
+		Formal: formal1.Sub(formal0),
 	}, nil
 }
 
@@ -239,17 +239,4 @@ func buildReport(spec *Spec, p Params, groups []GridGroup) (*Report, error) {
 		Table: spec.Table, Figure: spec.Figure, Kind: spec.Kind,
 		Params: p, Groups: rgs, Text: text,
 	}, nil
-}
-
-// subSnapshot is the per-run delta of the cumulative formal counters.
-func subSnapshot(a, b formal.Snapshot) formal.Snapshot {
-	return formal.Snapshot{
-		Queries:     a.Queries - b.Queries,
-		Solves:      a.Solves - b.Solves,
-		EarlyStops:  a.EarlyStops - b.EarlyStops,
-		Conflicts:   a.Conflicts - b.Conflicts,
-		LearntKept:  a.LearntKept - b.LearntKept,
-		GatesShared: a.GatesShared - b.GatesShared,
-		Encoded:     a.Encoded - b.Encoded,
-	}
 }

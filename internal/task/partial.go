@@ -8,7 +8,6 @@ import (
 
 	"fveval/internal/engine"
 	"fveval/internal/equiv"
-	"fveval/internal/formal"
 )
 
 // Partial is the wire shape of one shard's contribution to a task: the
@@ -189,22 +188,9 @@ func MergeStats(partials []*Partial) Stats {
 			Hits:   s.Cache.Hits + p.Stats.Cache.Hits,
 			Misses: s.Cache.Misses + p.Stats.Cache.Misses,
 		}
-		s.Formal = addSnapshot(s.Formal, p.Stats.Formal)
+		s.Formal = s.Formal.Add(p.Stats.Formal)
 	}
 	return s
-}
-
-// addSnapshot sums two formal-counter snapshots.
-func addSnapshot(a, b formal.Snapshot) formal.Snapshot {
-	return formal.Snapshot{
-		Queries:     a.Queries + b.Queries,
-		Solves:      a.Solves + b.Solves,
-		EarlyStops:  a.EarlyStops + b.EarlyStops,
-		Conflicts:   a.Conflicts + b.Conflicts,
-		LearntKept:  a.LearntKept + b.LearntKept,
-		GatesShared: a.GatesShared + b.GatesShared,
-		Encoded:     a.Encoded + b.Encoded,
-	}
 }
 
 // MergeRuns is MergeReports plus the folded execution metadata and a
