@@ -9,15 +9,20 @@ build:
 test:
 	$(GO) test -race ./...
 
-# service-smoke drives the fvevald HTTP service end to end under
-# httptest (registry listing, submit, stream, poll, cancel).
+# service-smoke drives the fvevald service tier end to end under
+# httptest: registry listing, submit/stream/poll/cancel, admission
+# control, the persistent run store with restart recovery, the worker
+# registry, and the /metrics exposition.
 service-smoke:
-	$(GO) test -race -v -count=1 ./cmd/fvevald
+	$(GO) test -race -v -count=1 ./internal/service/...
 
-# cluster-smoke launches two real fvevald workers on localhost, runs
-# fvevalctl against them (plus a dead-worker retry and a loopback
-# fleet), and diffs every distributed output against the
-# single-process run — the merge invariant, end to end.
+# cluster-smoke launches a real fvevald coordinator (persistent data
+# dir) plus two self-registering workers on localhost, runs fvevalctl
+# against them — static fleet, registered fleet, dead-worker retry,
+# loopback fleet — diffs every distributed output against the
+# single-process run, kill -9s the coordinator mid-flight and checks
+# restart recovery serves finished runs byte-identical, and scrapes
+# /metrics.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
 

@@ -1,17 +1,21 @@
-// Command fvevalctl is the distributed-run coordinator CLI: it splits
-// one registry task into shard slices, fans them out across a worker
-// fleet — remote fvevald endpoints or in-process loopback engines —
-// retries failed or timed-out shards on healthy workers, and merges
-// the partial reports into a single report byte-identical to an
-// unsharded run.
+// Command fvevalctl is the operator CLI for the FVEval service tier.
+// It can coordinate a distributed run itself (splitting one registry
+// task into shard slices, fanning them out across a worker fleet, and
+// merging the partial reports into a report byte-identical to an
+// unsharded run), or drive a fvevald coordinator remotely over the v1
+// API through internal/service/client.
 //
 // Usage:
 //
 //	fvevalctl tasks                                             # list the registry
 //	fvevalctl run -task table2 -workers http://a:8080,http://b:8080
+//	fvevalctl run -task table2 -registry http://coord:8080      # fleet = registered workers
 //	fvevalctl run -task nl2sva-human -local 4                   # 4 in-process engines
-//	fvevalctl run -task table4 -workers http://a:8080 -shards 8 # oversubscribe for balance
-//	fvevalctl run -task table1 -local 2 -json                   # merged run + fleet metadata as JSON
+//	fvevalctl submit -to http://coord:8080 -task table1         # queue a run, print its id
+//	fvevalctl submit -to http://coord:8080 -task table2 -distributed -follow
+//	fvevalctl report -to http://coord:8080 run-000001           # fetch a finished run's payload
+//	fvevalctl workers -to http://coord:8080                     # live registered fleet
+//	fvevalctl metrics -to http://coord:8080                     # scrape /metrics
 //
 // -task accepts registry names plus tableN / figureN aliases. Worker
 // failures are retried on the remaining fleet (-attempts per shard);
@@ -32,6 +36,8 @@ import (
 
 	"fveval/internal/dist"
 	"fveval/internal/engine"
+	"fveval/internal/service/api"
+	"fveval/internal/service/client"
 	"fveval/internal/task"
 )
 
@@ -40,14 +46,20 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	var err error
 	switch os.Args[1] {
 	case "tasks":
 		printRegistry()
 	case "run":
-		if err := runCmd(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "fvevalctl:", err)
-			os.Exit(1)
-		}
+		err = runCmd(os.Args[2:])
+	case "submit":
+		err = submitCmd(os.Args[2:])
+	case "report":
+		err = reportCmd(os.Args[2:])
+	case "workers":
+		err = workersCmd(os.Args[2:])
+	case "metrics":
+		err = metricsCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -55,12 +67,20 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvevalctl:", err)
+		os.Exit(1)
+	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  fvevalctl tasks                 list the task registry
-  fvevalctl run -task <name> ...  run a task across a worker fleet
+  fvevalctl tasks                    list the task registry
+  fvevalctl run -task <name> ...     coordinate a run across a worker fleet
+  fvevalctl submit -to <url> ...     submit a run to a fvevald service
+  fvevalctl report -to <url> <id>    print a finished run's payload
+  fvevalctl workers -to <url>        list the registered worker fleet
+  fvevalctl metrics -to <url>        scrape the service /metrics
 run flags:`)
 	fs := runFlags(&runConfig{})
 	fs.SetOutput(os.Stderr)
@@ -89,6 +109,7 @@ func printRegistry() {
 type runConfig struct {
 	taskName string
 	workers  string
+	registry string
 	local    int
 	shards   int
 	attempts int
@@ -109,6 +130,7 @@ func runFlags(c *runConfig) *flag.FlagSet {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.StringVar(&c.taskName, "task", "", "registry task to run (name, or tableN / figureN alias)")
 	fs.StringVar(&c.workers, "workers", "", "comma-separated fvevald worker URLs (http://host:port,...)")
+	fs.StringVar(&c.registry, "registry", "", "coordinator URL; fleet = its live registered workers")
 	fs.IntVar(&c.local, "local", 0, "spin N in-process loopback engines instead of remote workers (0 = NumCPU when -workers is empty)")
 	fs.IntVar(&c.shards, "shards", 0, "shard count override (0 = one per worker)")
 	fs.IntVar(&c.attempts, "attempts", 0, "max attempts per shard before the run fails (0 = 3)")
@@ -141,23 +163,14 @@ func resolveTask(name string) (*task.Spec, error) {
 	return task.Lookup(name)
 }
 
-func runCmd(args []string) error {
-	var c runConfig
-	fs := runFlags(&c)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
+// buildRequest resolves the task and option flags into a request.
+func buildRequest(c *runConfig) (task.Request, error) {
 	if c.taskName == "" {
-		return fmt.Errorf("missing -task (see fvevalctl tasks)")
+		return task.Request{}, fmt.Errorf("missing -task (see fvevalctl tasks)")
 	}
 	spec, err := resolveTask(c.taskName)
 	if err != nil {
-		return err
-	}
-
-	runners, err := buildFleet(&c)
-	if err != nil {
-		return err
+		return task.Request{}, err
 	}
 	req := task.Request{
 		Task: spec.Name,
@@ -172,9 +185,26 @@ func runCmd(args []string) error {
 	}
 	if c.count > 0 {
 		if !acceptsCount(spec) {
-			return fmt.Errorf("task %s does not accept -count", spec.Name)
+			return task.Request{}, fmt.Errorf("task %s does not accept -count", spec.Name)
 		}
 		req.Params.Count = c.count
+	}
+	return req, nil
+}
+
+func runCmd(args []string) error {
+	var c runConfig
+	fs := runFlags(&c)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req, err := buildRequest(&c)
+	if err != nil {
+		return err
+	}
+	runners, err := buildFleet(&c)
+	if err != nil {
+		return err
 	}
 
 	opts := dist.Options{
@@ -215,13 +245,33 @@ func runCmd(args []string) error {
 	return nil
 }
 
-// buildFleet resolves -workers / -local into runners.
+// buildFleet resolves -workers / -registry / -local into runners.
 func buildFleet(c *runConfig) ([]dist.Runner, error) {
 	if c.local < 0 {
 		return nil, fmt.Errorf("-local %d out of range", c.local)
 	}
-	if c.workers != "" && c.local > 0 {
-		return nil, fmt.Errorf("-workers and -local are mutually exclusive")
+	modes := 0
+	for _, set := range []bool{c.workers != "", c.registry != "", c.local > 0} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return nil, fmt.Errorf("-workers, -registry, and -local are mutually exclusive")
+	}
+	if c.registry != "" {
+		workers, err := client.New(c.registry).Workers(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("registry %s: %w", c.registry, err)
+		}
+		if len(workers) == 0 {
+			return nil, fmt.Errorf("registry %s lists no live workers", c.registry)
+		}
+		runners := make([]dist.Runner, len(workers))
+		for i, w := range workers {
+			runners[i] = dist.NewHTTPRunner(w.URL)
+		}
+		return runners, nil
 	}
 	if c.workers != "" {
 		var runners []dist.Runner
@@ -254,4 +304,162 @@ func acceptsCount(spec *task.Spec) bool {
 		}
 	}
 	return false
+}
+
+// submitCmd queues a run on a fvevald service. Without -follow it
+// prints the run id and exits; with -follow it streams progress and
+// prints the finished report.
+func submitCmd(args []string) error {
+	var c runConfig
+	var (
+		to          string
+		apiKey      string
+		distributed bool
+		priority    int
+		follow      bool
+	)
+	fs := runFlags(&c)
+	fs.Init("submit", flag.ContinueOnError)
+	fs.StringVar(&to, "to", "", "fvevald base URL (required)")
+	fs.StringVar(&apiKey, "api-key", "", "X-API-Key admission identity")
+	fs.BoolVar(&distributed, "distributed", false, "fan the run across the service's registered worker fleet")
+	fs.IntVar(&priority, "priority", 0, "admission priority 0..9 (higher runs first)")
+	fs.BoolVar(&follow, "follow", false, "wait for the run and print its report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if to == "" {
+		return fmt.Errorf("missing -to <url>")
+	}
+	req, err := buildRequest(&c)
+	if err != nil {
+		return err
+	}
+	cl := newClient(to, apiKey)
+	sub := api.Submission{Request: req, Distributed: distributed, Priority: priority}
+
+	if !follow {
+		resp, err := cl.Submit(context.Background(), sub)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fvevalctl: %s %s (position %d, cached %v)\n", resp.ID, resp.Status, resp.Position, resp.Cached)
+		fmt.Println(resp.ID)
+		return nil
+	}
+
+	var progress func(task.Event)
+	if c.verbose {
+		progress = func(ev task.Event) {
+			fmt.Fprintf(os.Stderr, "fvevalctl: job %d/%d (%s)\n", ev.Done, ev.Total, ev.Instance)
+		}
+	}
+	view, err := cl.Run(context.Background(), sub, progress)
+	if err != nil {
+		return err
+	}
+	return printRunView(view, c.jsonOut)
+}
+
+// reportCmd fetches one run and prints its persisted payload — the
+// Run (or Partial) JSON on stdout, status on stderr. The payload is
+// byte-stable across server restarts, which is what the smoke tests
+// diff.
+func reportCmd(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	to := fs.String("to", "", "fvevald base URL (required)")
+	apiKey := fs.String("api-key", "", "X-API-Key admission identity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("missing -to <url>")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fvevalctl report -to <url> <run-id>")
+	}
+	view, err := newClient(*to, *apiKey).Get(context.Background(), fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fvevalctl: %s %s", view.ID, view.Status)
+	if view.Error != "" {
+		fmt.Fprintf(os.Stderr, ": %s", view.Error)
+	}
+	fmt.Fprintln(os.Stderr)
+	return printRunView(view, true)
+}
+
+// printRunView emits a terminal run's payload: the rendered report
+// (human) or the Run/Partial JSON (machine).
+func printRunView(view api.RunView, jsonOut bool) error {
+	var payload any
+	switch {
+	case view.Run != nil:
+		payload = view.Run
+	case view.Part != nil:
+		payload = view.Part
+	default:
+		return fmt.Errorf("run %s (%s) carries no payload", view.ID, view.Status)
+	}
+	if !jsonOut && view.Run != nil {
+		fmt.Println(view.Run.Report.Render())
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
+}
+
+// workersCmd lists the live registered fleet.
+func workersCmd(args []string) error {
+	fs := flag.NewFlagSet("workers", flag.ContinueOnError)
+	to := fs.String("to", "", "fvevald base URL (required)")
+	jsonOut := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("missing -to <url>")
+	}
+	workers, err := newClient(*to, "").Workers(context.Background())
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(workers)
+	}
+	fmt.Printf("%-16s %-32s %s\n", "ID", "URL", "Last seen")
+	for _, w := range workers {
+		fmt.Printf("%-16s %-32s %s\n", w.ID, w.URL, time.UnixMilli(w.LastSeenMS).Format(time.RFC3339))
+	}
+	return nil
+}
+
+// metricsCmd scrapes and prints the service /metrics exposition.
+func metricsCmd(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	to := fs.String("to", "", "fvevald base URL (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("missing -to <url>")
+	}
+	text, err := newClient(*to, "").Metrics(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	return nil
+}
+
+func newClient(base, apiKey string) *client.Client {
+	var opts []client.Option
+	if apiKey != "" {
+		opts = append(opts, client.WithAPIKey(apiKey))
+	}
+	return client.New(base, opts...)
 }

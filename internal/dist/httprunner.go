@@ -1,194 +1,34 @@
 package dist
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
-	"fmt"
-	"io"
-	"net/http"
 	"strings"
-	"time"
 
+	"fveval/internal/service/client"
 	"fveval/internal/task"
 )
 
-// HTTPRunner drives one fvevald worker over its /v1/runs API: submit
-// the shard as a partial run, stream its progress events (forwarded to
+// HTTPRunner drives one fvevald worker over its v1 API: submit the
+// shard as a partial run, stream its progress events (forwarded to
 // req.Progress), and fetch the partial report once the run lands in a
-// terminal state. Cancelling ctx cancels the remote run (best-effort
-// DELETE) before returning.
+// terminal state. Cancelling ctx cancels the remote run (best-effort)
+// before returning. The wire work lives in service/client.RunShard —
+// this type only adapts it to the Runner interface.
 type HTTPRunner struct {
-	base   string
-	client *http.Client
+	c *client.Client
 }
 
 // NewHTTPRunner builds a worker client for a fvevald base URL such as
-// "http://10.0.0.7:8080". No request timeout is set on the client —
-// shard attempts are bounded by the coordinator's ShardTimeout.
+// "http://10.0.0.7:8080". No request timeout is set — shard attempts
+// are bounded by the coordinator's ShardTimeout.
 func NewHTTPRunner(baseURL string) *HTTPRunner {
-	return &HTTPRunner{base: strings.TrimRight(baseURL, "/"), client: &http.Client{}}
+	return &HTTPRunner{c: client.New(strings.TrimRight(baseURL, "/"))}
 }
 
 // Name identifies the worker by its base URL.
-func (r *HTTPRunner) Name() string { return r.base }
-
-// errorBody extracts the service's {"error": ...} payload.
-func errorBody(resp *http.Response) string {
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	var e struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return e.Error
-	}
-	return strings.TrimSpace(string(data))
-}
+func (r *HTTPRunner) Name() string { return r.c.Base() }
 
 // Run executes one shard on the remote worker.
 func (r *HTTPRunner) Run(ctx context.Context, req task.Request) (*task.Partial, error) {
-	body, err := json.Marshal(task.Submission{Request: req, Partial: true})
-	if err != nil {
-		return nil, err
-	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/v1/runs", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := r.client.Do(httpReq)
-	if err != nil {
-		return nil, fmt.Errorf("dist: %s: submit: %w", r.base, err)
-	}
-	var submitted struct {
-		ID string `json:"id"`
-	}
-	dec := json.NewDecoder(resp.Body)
-	if resp.StatusCode != http.StatusAccepted {
-		msg := errorBody(resp)
-		resp.Body.Close()
-		return nil, fmt.Errorf("dist: %s: submit: status %d: %s", r.base, resp.StatusCode, msg)
-	}
-	if err := dec.Decode(&submitted); err != nil || submitted.ID == "" {
-		resp.Body.Close()
-		return nil, fmt.Errorf("dist: %s: submit: bad response (%v)", r.base, err)
-	}
-	resp.Body.Close()
-
-	// From here on the remote run exists; if we bail out for any
-	// reason (cancellation, timeout, stream breakage) tell the worker
-	// to stop burning cycles on it.
-	finished := false
-	defer func() {
-		if !finished {
-			r.cancelRemote(submitted.ID)
-		}
-	}()
-
-	terminal, err := r.streamEvents(ctx, submitted.ID, req.Progress)
-	if err != nil {
-		return nil, err
-	}
-	if terminal != "done" {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		return nil, fmt.Errorf("dist: %s: run %s ended %s", r.base, submitted.ID, terminal)
-	}
-
-	partial, err := r.fetchPartial(ctx, submitted.ID)
-	if err != nil {
-		return nil, err
-	}
-	finished = true
-	return partial, nil
-}
-
-// streamEvents follows the NDJSON event stream, forwarding progress
-// until the terminal status line.
-func (r *HTTPRunner) streamEvents(ctx context.Context, id string, progress func(task.Event)) (string, error) {
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/runs/"+id+"/events", nil)
-	if err != nil {
-		return "", err
-	}
-	resp, err := r.client.Do(httpReq)
-	if err != nil {
-		return "", fmt.Errorf("dist: %s: event stream: %w", r.base, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("dist: %s: event stream: status %d: %s", r.base, resp.StatusCode, errorBody(resp))
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		var probe struct {
-			Status string `json:"status"`
-			Error  string `json:"error"`
-		}
-		if err := json.Unmarshal(line, &probe); err != nil {
-			return "", fmt.Errorf("dist: %s: bad event line %q: %w", r.base, line, err)
-		}
-		if probe.Status != "" {
-			if probe.Status == "error" {
-				return probe.Status, fmt.Errorf("dist: %s: run %s failed: %s", r.base, id, probe.Error)
-			}
-			return probe.Status, nil
-		}
-		if progress != nil {
-			var ev task.Event
-			if err := json.Unmarshal(line, &ev); err == nil {
-				progress(ev)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return "", fmt.Errorf("dist: %s: event stream broke: %w", r.base, err)
-	}
-	return "", fmt.Errorf("dist: %s: event stream ended without a terminal status", r.base)
-}
-
-// fetchPartial retrieves the finished run's partial report.
-func (r *HTTPRunner) fetchPartial(ctx context.Context, id string) (*task.Partial, error) {
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/runs/"+id, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := r.client.Do(httpReq)
-	if err != nil {
-		return nil, fmt.Errorf("dist: %s: fetch: %w", r.base, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dist: %s: fetch: status %d: %s", r.base, resp.StatusCode, errorBody(resp))
-	}
-	var view struct {
-		Status  string        `json:"status"`
-		Error   string        `json:"error"`
-		Partial *task.Partial `json:"partial"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
-		return nil, fmt.Errorf("dist: %s: fetch: %w", r.base, err)
-	}
-	if view.Partial == nil {
-		return nil, fmt.Errorf("dist: %s: run %s carries no partial (status %s %s)", r.base, id, view.Status, view.Error)
-	}
-	return view.Partial, nil
-}
-
-// cancelRemote issues a best-effort DELETE so an abandoned shard stops
-// evaluating; it runs on its own short deadline because the caller's
-// ctx is typically already cancelled.
-func (r *HTTPRunner) cancelRemote(id string) {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodDelete, r.base+"/v1/runs/"+id, nil)
-	if err != nil {
-		return
-	}
-	if resp, err := r.client.Do(httpReq); err == nil {
-		resp.Body.Close()
-	}
+	return r.c.RunShard(ctx, req)
 }

@@ -13,6 +13,7 @@ package equiv
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"fveval/internal/bitvec"
 	"fveval/internal/formal"
@@ -390,12 +391,14 @@ func findWitnesses(fa, fb ltl.Formula, sigs *Sigs, ks []int, usesPast, unbounded
 		{f: fb, g: fa},
 	}
 	var hashBase int64
+	started := time.Now()
 	report := func() {
 		for _, dir := range dirs {
 			opt.Stats.Query(dir.solves, dir.conflicts, dir.learntKept, dir.early)
 		}
 		opt.Stats.GatesShared(b.HashHits() - hashBase)
 		opt.Stats.NodesEncoded(int64(cnf.Encoded()))
+		opt.Stats.SolveWall(time.Since(started).Nanoseconds())
 	}
 	// Every exit — verdict, budget exhaustion, or elaboration error —
 	// must account the session's solver work.

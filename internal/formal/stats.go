@@ -27,6 +27,36 @@ type Stats struct {
 	simRefutations atomic.Int64 // queries refuted by simulation alone
 	simSATAvoided  atomic.Int64 // SAT calls skipped thanks to a sim witness
 	simBankHits    atomic.Int64 // refutations from a recycled counterexample
+
+	// Solver wall-clock accounting (DESIGN.md §11): total nanoseconds
+	// spent inside formal checks plus a per-check latency histogram,
+	// surfaced by the service tier's /metrics endpoint.
+	solveNS   atomic.Int64
+	solveHist [SolveWallBucketCount]atomic.Int64
+}
+
+// SolveWallBuckets are the histogram upper bounds, in seconds, for
+// per-check solver wall-clock observations; the implicit final bucket
+// is +Inf.
+var SolveWallBuckets = [...]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// SolveWallBucketCount is len(SolveWallBuckets) + 1 (the +Inf bucket).
+const SolveWallBucketCount = 9
+
+// SolveWall records the wall-clock of one complete formal check (an
+// equivalence pair or a model-checking property): total time plus one
+// histogram observation.
+func (s *Stats) SolveWall(ns int64) {
+	if s == nil || ns < 0 {
+		return
+	}
+	s.solveNS.Add(ns)
+	sec := float64(ns) / 1e9
+	i := 0
+	for i < len(SolveWallBuckets) && sec > SolveWallBuckets[i] {
+		i++
+	}
+	s.solveHist[i].Add(1)
 }
 
 // Query records one incremental session: the number of Solve calls it
@@ -121,6 +151,11 @@ type Snapshot struct {
 	LearntKept  int64 `json:"learnt_kept"`
 	GatesShared int64 `json:"gates_shared"`
 	Encoded     int64 `json:"encoded"`
+	// SolveWallNS is total wall-clock nanoseconds spent inside formal
+	// checks; SolveWallHist is the per-check latency histogram (raw
+	// per-bucket counts over SolveWallBuckets, last bucket +Inf).
+	SolveWallNS   int64                       `json:"solve_wall_ns,omitempty"`
+	SolveWallHist [SolveWallBucketCount]int64 `json:"solve_wall_hist,omitzero"`
 	// Sim carries the simulation-prefilter counters.
 	Sim SimStats `json:"sim"`
 }
@@ -130,14 +165,20 @@ func (s *Stats) Snapshot() Snapshot {
 	if s == nil {
 		return Snapshot{}
 	}
+	var hist [SolveWallBucketCount]int64
+	for i := range hist {
+		hist[i] = s.solveHist[i].Load()
+	}
 	return Snapshot{
-		Queries:     s.queries.Load(),
-		Solves:      s.solves.Load(),
-		EarlyStops:  s.earlyStops.Load(),
-		Conflicts:   s.conflicts.Load(),
-		LearntKept:  s.learntKept.Load(),
-		GatesShared: s.gatesShared.Load(),
-		Encoded:     s.encoded.Load(),
+		Queries:       s.queries.Load(),
+		Solves:        s.solves.Load(),
+		EarlyStops:    s.earlyStops.Load(),
+		Conflicts:     s.conflicts.Load(),
+		LearntKept:    s.learntKept.Load(),
+		GatesShared:   s.gatesShared.Load(),
+		Encoded:       s.encoded.Load(),
+		SolveWallNS:   s.solveNS.Load(),
+		SolveWallHist: hist,
 		Sim: SimStats{
 			Patterns:    s.simPatterns.Load(),
 			Refutations: s.simRefutations.Load(),
@@ -150,14 +191,20 @@ func (s *Stats) Snapshot() Snapshot {
 // Add returns the field-wise sum of two snapshots — the distributed
 // merge fold (shard deltas are disjoint traffic on separate pools).
 func (s Snapshot) Add(o Snapshot) Snapshot {
+	var hist [SolveWallBucketCount]int64
+	for i := range hist {
+		hist[i] = s.SolveWallHist[i] + o.SolveWallHist[i]
+	}
 	return Snapshot{
-		Queries:     s.Queries + o.Queries,
-		Solves:      s.Solves + o.Solves,
-		EarlyStops:  s.EarlyStops + o.EarlyStops,
-		Conflicts:   s.Conflicts + o.Conflicts,
-		LearntKept:  s.LearntKept + o.LearntKept,
-		GatesShared: s.GatesShared + o.GatesShared,
-		Encoded:     s.Encoded + o.Encoded,
+		Queries:       s.Queries + o.Queries,
+		Solves:        s.Solves + o.Solves,
+		EarlyStops:    s.EarlyStops + o.EarlyStops,
+		Conflicts:     s.Conflicts + o.Conflicts,
+		LearntKept:    s.LearntKept + o.LearntKept,
+		GatesShared:   s.GatesShared + o.GatesShared,
+		Encoded:       s.Encoded + o.Encoded,
+		SolveWallNS:   s.SolveWallNS + o.SolveWallNS,
+		SolveWallHist: hist,
 		Sim: SimStats{
 			Patterns:    s.Sim.Patterns + o.Sim.Patterns,
 			Refutations: s.Sim.Refutations + o.Sim.Refutations,
@@ -170,14 +217,20 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 // Sub returns the field-wise difference s - o — the per-run delta of
 // cumulative counters.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
+	var hist [SolveWallBucketCount]int64
+	for i := range hist {
+		hist[i] = s.SolveWallHist[i] - o.SolveWallHist[i]
+	}
 	return Snapshot{
-		Queries:     s.Queries - o.Queries,
-		Solves:      s.Solves - o.Solves,
-		EarlyStops:  s.EarlyStops - o.EarlyStops,
-		Conflicts:   s.Conflicts - o.Conflicts,
-		LearntKept:  s.LearntKept - o.LearntKept,
-		GatesShared: s.GatesShared - o.GatesShared,
-		Encoded:     s.Encoded - o.Encoded,
+		Queries:       s.Queries - o.Queries,
+		Solves:        s.Solves - o.Solves,
+		EarlyStops:    s.EarlyStops - o.EarlyStops,
+		Conflicts:     s.Conflicts - o.Conflicts,
+		LearntKept:    s.LearntKept - o.LearntKept,
+		GatesShared:   s.GatesShared - o.GatesShared,
+		Encoded:       s.Encoded - o.Encoded,
+		SolveWallNS:   s.SolveWallNS - o.SolveWallNS,
+		SolveWallHist: hist,
 		Sim: SimStats{
 			Patterns:    s.Sim.Patterns - o.Sim.Patterns,
 			Refutations: s.Sim.Refutations - o.Sim.Refutations,

@@ -23,6 +23,7 @@ package mc
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"fveval/internal/bitvec"
 	"fveval/internal/formal"
@@ -148,6 +149,7 @@ func CheckCover(sys *rtl.System, a *sva.Assertion, opt Options) (Result, error) 
 	}
 	d := ltl.Depth(f)
 	n := opt.BMCDepth + d + 1
+	started := time.Now()
 	b := logic.NewBuilder()
 	fe := newFrameEnv(b, sys)
 	fe.initFrame0(false)
@@ -175,6 +177,7 @@ func CheckCover(sys *rtl.System, a *sva.Assertion, opt Options) (Result, error) 
 	cnf.Assert(b.And(hit, asm))
 	ok, model, err := s.SolveModel()
 	opt.Stats.Query(1, s.Stats().Conflicts, 0, false)
+	opt.Stats.SolveWall(time.Since(started).Nanoseconds())
 	if err != nil {
 		return Result{}, err
 	}
@@ -739,11 +742,13 @@ func (ss *safetySession) report(st *formal.Stats, early bool) {
 
 func checkSafety(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, opt Options) (Result, error) {
 	d := ltl.Depth(f)
+	started := time.Now()
 	base := newSafetySession(sys, f, abort, assumes, d, false, opt)
 	step := newSafetySession(sys, f, abort, assumes, d, true, opt)
 	finish := func(res Result, early bool) Result {
 		base.report(opt.Stats, early)
 		step.report(opt.Stats, early)
+		opt.Stats.SolveWall(time.Since(started).Nanoseconds())
 		return res
 	}
 	// Error exits (budget exhaustion, elaboration failures) must still
@@ -802,6 +807,7 @@ func checkLiveness(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl
 	if d := ltl.Depth(f) + 3; d > k {
 		k = d
 	}
+	started := time.Now()
 	b := logic.NewBuilder()
 	fe := newFrameEnv(b, sys)
 	fe.initFrame0(false)
@@ -859,6 +865,7 @@ func checkLiveness(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl
 	cnf.Assert(total)
 	ok, model, err := s.SolveModel()
 	opt.Stats.Query(1, s.Stats().Conflicts, 0, false)
+	opt.Stats.SolveWall(time.Since(started).Nanoseconds())
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fveval/internal/formal"
+)
+
+// metrics is the service-local instrument set behind GET /metrics.
+// Everything is hand-rolled Prometheus text exposition (version
+// 0.0.4): counters and histograms accumulate here, gauges and the
+// engine-backed series are sampled at scrape time, and the writer
+// emits families in sorted-name order so scrapes are deterministic
+// and diffable in tests.
+type metrics struct {
+	runsSubmitted     atomic.Int64
+	admissionRejected struct {
+		quota     atomic.Int64
+		queueFull atomic.Int64
+		draining  atomic.Int64
+	}
+	runsFinished sync.Map // status -> *atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	shardRetries atomic.Int64
+	workerEvicts atomic.Int64
+	compactions  atomic.Int64
+
+	runWall histogram
+}
+
+// finished bumps the per-terminal-status run counter.
+func (m *metrics) finished(status string) {
+	v, _ := m.runsFinished.LoadOrStore(status, new(atomic.Int64))
+	v.(*atomic.Int64).Add(1)
+}
+
+// runWallBuckets are the run wall-clock histogram bounds in seconds.
+var runWallBuckets = [...]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+// histogram is a fixed-bucket latency histogram; observe is
+// lock-cheap enough for per-run (not per-job) granularity.
+type histogram struct {
+	mu     sync.Mutex
+	counts [len(runWallBuckets) + 1]int64
+	sum    float64
+	n      int64
+}
+
+func (h *histogram) observe(seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(runWallBuckets) && seconds > runWallBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// snapshot copies the histogram under its lock.
+func (h *histogram) snapshot() (counts [len(runWallBuckets) + 1]int64, sum float64, n int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counts, h.sum, h.n
+}
+
+// family is one metric family ready to emit.
+type family struct {
+	name, help, typ string
+	lines           []string // full sample lines, already formatted
+}
+
+// writeMetrics renders the scrape. The gauge values (queue depth,
+// in-flight runs, live workers, retained runs) and the engine-backed
+// counters (equiv cache, formal backend, sim prefilter, solver
+// wall-clock histogram) are sampled from the server at call time.
+func (s *Server) writeMetrics(w io.Writer) {
+	m := &s.metrics
+
+	s.mu.Lock()
+	queued := s.queuedCount
+	inflight := s.inflight
+	retained := len(s.runs)
+	s.mu.Unlock()
+	workers := len(s.registry.live())
+
+	cache := s.eng.CacheStats()
+	fstats := s.eng.FormalStats()
+
+	fams := []family{
+		counter("fveval_admission_rejected_total",
+			"Submissions rejected at admission, by reason.",
+			sample("reason", "draining", m.admissionRejected.draining.Load()),
+			sample("reason", "queue_full", m.admissionRejected.queueFull.Load()),
+			sample("reason", "quota", m.admissionRejected.quota.Load()),
+		),
+		counter("fveval_equiv_cache_hits_total",
+			"Equivalence-cache hits on the engine's shared memo pool.",
+			plain(cache.Hits)),
+		counter("fveval_equiv_cache_misses_total",
+			"Equivalence-cache misses on the engine's shared memo pool.",
+			plain(cache.Misses)),
+		counter("fveval_formal_conflicts_total",
+			"SAT conflicts spent across all formal sessions.",
+			plain(fstats.Conflicts)),
+		counter("fveval_formal_queries_total",
+			"Incremental formal solver sessions opened.",
+			plain(fstats.Queries)),
+		counter("fveval_formal_solves_total",
+			"Individual incremental Solve calls issued.",
+			plain(fstats.Solves)),
+		counter("fveval_journal_compactions_total",
+			"Run-journal snapshot compactions.",
+			m.compactionLines()...),
+		gauge("fveval_queue_depth",
+			"Runs waiting in the admission queue.",
+			plain(int64(queued))),
+		counter("fveval_result_cache_hits_total",
+			"Submissions served from the content-addressed result store.",
+			plain(m.cacheHits.Load())),
+		counter("fveval_result_cache_misses_total",
+			"Submissions that had to touch the engine.",
+			plain(m.cacheMisses.Load())),
+		histogramFamily("fveval_run_wall_seconds",
+			"End-to-end run wall-clock, per executed run.",
+			runWallBuckets[:], &m.runWall),
+		gauge("fveval_runs_inflight",
+			"Runs currently executing.",
+			plain(int64(inflight))),
+		gauge("fveval_runs_retained",
+			"Run records currently retained (queued, running, and terminal).",
+			plain(int64(retained))),
+		counter("fveval_runs_submitted_total",
+			"Submissions admitted (including result-cache hits).",
+			plain(m.runsSubmitted.Load())),
+		counter("fveval_runs_total",
+			"Runs finished, by terminal status.",
+			m.statusLines()...),
+		counter("fveval_shard_retries_total",
+			"Distributed shard attempts that failed and were requeued.",
+			plain(m.shardRetries.Load())),
+		counter("fveval_sim_patterns_total",
+			"Bit-parallel simulation pattern lanes evaluated.",
+			plain(fstats.Sim.Patterns)),
+		counter("fveval_sim_refutations_total",
+			"Formal queries refuted by the simulation prefilter alone.",
+			plain(fstats.Sim.Refutations)),
+		counter("fveval_sim_sat_avoided_total",
+			"SAT calls skipped thanks to a simulation witness.",
+			plain(fstats.Sim.SATAvoided)),
+		solverWallFamily(fstats),
+		counter("fveval_workers_evicted_total",
+			"Workers evicted from the registry after missed heartbeats.",
+			plain(m.workerEvicts.Load())),
+		gauge("fveval_workers_live",
+			"Workers currently live in the registry.",
+			plain(int64(workers))),
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, l := range f.lines {
+			fmt.Fprintf(w, "%s%s\n", f.name, l)
+		}
+	}
+}
+
+// compactionLines exists so the counter stays emitted (as 0) before
+// the first compaction.
+func (m *metrics) compactionLines() []string {
+	return []string{plain(m.compactions.Load())}
+}
+
+// statusLines renders fveval_runs_total{status=...} samples sorted by
+// status for deterministic scrapes.
+func (m *metrics) statusLines() []string {
+	var statuses []string
+	m.runsFinished.Range(func(k, _ any) bool {
+		statuses = append(statuses, k.(string))
+		return true
+	})
+	sort.Strings(statuses)
+	lines := make([]string, 0, len(statuses))
+	for _, st := range statuses {
+		v, _ := m.runsFinished.Load(st)
+		lines = append(lines, sample("status", st, v.(*atomic.Int64).Load()))
+	}
+	if len(lines) == 0 {
+		lines = []string{sample("status", "done", 0)}
+	}
+	return lines
+}
+
+func counter(name, help string, lines ...string) family {
+	return family{name: name, help: help, typ: "counter", lines: lines}
+}
+
+func gauge(name, help string, lines ...string) family {
+	return family{name: name, help: help, typ: "gauge", lines: lines}
+}
+
+func plain(v int64) string { return fmt.Sprintf(" %d", v) }
+
+func sample(label, value string, v int64) string {
+	return fmt.Sprintf("{%s=%q} %d", label, value, v)
+}
+
+// histogramFamily renders a Prometheus histogram: cumulative _bucket
+// samples, _sum, and _count.
+func histogramFamily(name, help string, bounds []float64, h *histogram) family {
+	counts, sum, n := h.snapshot()
+	lines := make([]string, 0, len(counts)+2)
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatBound(bounds[i])
+		}
+		lines = append(lines, fmt.Sprintf("_bucket{le=%q} %d", le, cum))
+	}
+	lines = append(lines,
+		fmt.Sprintf("_sum %g", sum),
+		fmt.Sprintf("_count %d", n))
+	return family{name: name, help: help, typ: "histogram", lines: lines}
+}
+
+// solverWallFamily renders the formal backend's per-check wall-clock
+// histogram from the engine's cumulative snapshot.
+func solverWallFamily(s formal.Snapshot) family {
+	lines := make([]string, 0, formal.SolveWallBucketCount+2)
+	cum := int64(0)
+	for i, c := range s.SolveWallHist {
+		cum += c
+		le := "+Inf"
+		if i < len(formal.SolveWallBuckets) {
+			le = formatBound(formal.SolveWallBuckets[i])
+		}
+		lines = append(lines, fmt.Sprintf("_bucket{le=%q} %d", le, cum))
+	}
+	lines = append(lines,
+		fmt.Sprintf("_sum %g", float64(s.SolveWallNS)/1e9),
+		fmt.Sprintf("_count %d", cum))
+	return family{
+		name: "fveval_solver_wall_seconds",
+		help: "Formal-check wall-clock, per equivalence pair or model-checking property.",
+		typ:  "histogram", lines: lines,
+	}
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

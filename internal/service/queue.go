@@ -1,0 +1,48 @@
+package service
+
+import "container/heap"
+
+// qitem is one admitted run waiting for an executor.
+type qitem struct {
+	id       string
+	priority int
+	seq      int64 // admission order; ties break FIFO
+}
+
+// admitQueue is the admission queue's heap: higher priority first,
+// FIFO within a priority level. Cancel-while-queued is lazy — the
+// run's record goes terminal immediately and the stale heap entry is
+// skipped when an executor pops it — so cancellation never needs a
+// heap search.
+type admitQueue []qitem
+
+func (q admitQueue) Len() int { return len(q) }
+
+func (q admitQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q admitQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *admitQueue) Push(x any) { *q = append(*q, x.(qitem)) }
+
+func (q *admitQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// push and pop wrap container/heap so call sites stay readable.
+func (q *admitQueue) push(it qitem) { heap.Push(q, it) }
+
+func (q *admitQueue) pop() (qitem, bool) {
+	if q.Len() == 0 {
+		return qitem{}, false
+	}
+	return heap.Pop(q).(qitem), true
+}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+
+	"fveval/internal/service/api"
+)
+
+// workerRegistry tracks the live fvevald worker fleet. Workers dial
+// in (POST /v1/workers/register), heartbeat within the TTL, and are
+// evicted lazily on the next access once the TTL lapses — no
+// background sweeper goroutine, so a registry is safe to embed in
+// tests and short-lived servers. Eviction here is the fleet-level
+// liveness layer; within one distributed run, dist.Coordinator's
+// benching/retry machinery handles workers that die mid-shard.
+type workerRegistry struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	now     func() time.Time
+	workers map[string]*workerEntry
+	// evicted counts TTL evictions for /metrics.
+	evicted func()
+}
+
+type workerEntry struct {
+	id         string
+	url        string
+	registered time.Time
+	lastSeen   time.Time
+}
+
+func newWorkerRegistry(ttl time.Duration, now func() time.Time, evicted func()) *workerRegistry {
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	if evicted == nil {
+		evicted = func() {}
+	}
+	return &workerRegistry{ttl: ttl, now: now, workers: map[string]*workerEntry{}, evicted: evicted}
+}
+
+// workerID derives a stable id from the advertised URL, so a worker
+// that restarts and re-registers the same URL keeps its identity
+// instead of leaking a new entry per restart.
+func workerID(url string) string {
+	sum := sha256.Sum256([]byte(url))
+	return "w-" + hex.EncodeToString(sum[:6])
+}
+
+// register adds or refreshes a worker and returns its id.
+func (r *workerRegistry) register(url string) string {
+	id := workerID(url)
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[id]; ok {
+		w.lastSeen = now
+		w.url = url
+		return id
+	}
+	r.workers[id] = &workerEntry{id: id, url: url, registered: now, lastSeen: now}
+	return id
+}
+
+// heartbeat refreshes a worker's liveness; false means the id is
+// unknown (never registered, or already evicted) and the worker must
+// re-register.
+func (r *workerRegistry) heartbeat(id string) bool {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return false
+	}
+	if now.Sub(w.lastSeen) > r.ttl {
+		delete(r.workers, id)
+		r.evicted()
+		return false
+	}
+	w.lastSeen = now
+	return true
+}
+
+// deregister removes a worker explicitly (graceful worker shutdown).
+func (r *workerRegistry) deregister(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.workers[id]; !ok {
+		return false
+	}
+	delete(r.workers, id)
+	return true
+}
+
+// sweepLocked drops entries whose heartbeat lapsed; caller holds mu.
+func (r *workerRegistry) sweepLocked() {
+	now := r.now()
+	for id, w := range r.workers {
+		if now.Sub(w.lastSeen) > r.ttl {
+			delete(r.workers, id)
+			r.evicted()
+		}
+	}
+}
+
+// live returns the live fleet sorted by URL (stable fleet order keeps
+// distributed dispatch deterministic for a fixed registry state).
+func (r *workerRegistry) live() []api.WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked()
+	out := make([]api.WorkerInfo, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, api.WorkerInfo{
+			ID:           w.id,
+			URL:          w.url,
+			RegisteredMS: w.registered.UnixMilli(),
+			LastSeenMS:   w.lastSeen.UnixMilli(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}

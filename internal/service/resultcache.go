@@ -1,0 +1,103 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"fveval/internal/engine"
+	"fveval/internal/task"
+)
+
+// resultCache is the cross-request content-addressed result store:
+// finished Runs (and shard Partials) keyed by the canonicalized
+// request, so identical submissions from different clients are served
+// the finished Report without touching the engine. Entries are
+// LRU-bounded; the cache is repopulated from the journal on restart,
+// so a recovered server keeps serving cached results immediately.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recent; values are cache keys
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	run     *task.Run
+	partial *task.Partial
+	elem    *list.Element
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &resultCache{max: max, order: list.New(), entries: map[string]*cacheEntry{}}
+}
+
+// resultKey canonicalizes a submission into its content address: the
+// resolved registry request (task name + fully merged params) plus
+// the verdict-shaping options and the result shape (partial or
+// aggregated). Workers is cleared — machine-local parallelism never
+// changes a byte of output (the engine's determinism invariant) — so
+// requests differing only in parallelism share one entry. An error
+// means the request does not canonicalize (unknown task, bad params)
+// and is therefore uncacheable.
+func resultKey(req task.Request, partial bool) (string, error) {
+	canon, err := req.Canonical()
+	if err != nil {
+		return "", err
+	}
+	canon.Options.Workers = 0
+	payload, err := json.Marshal(struct {
+		Task    string        `json:"task"`
+		Params  task.Params   `json:"params"`
+		Options engine.Config `json:"options"`
+		Partial bool          `json:"partial"`
+	}{canon.Task, canon.Params, canon.Options, partial})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// get returns the cached result for a key, refreshing its recency.
+func (c *resultCache) get(key string) (*task.Run, *task.Partial, bool) {
+	if key == "" {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, nil, false
+	}
+	c.order.MoveToFront(e.elem)
+	return e.run, e.partial, true
+}
+
+// put stores a finished result, evicting the least-recently-used
+// entry beyond capacity.
+func (c *resultCache) put(key string, run *task.Run, partial *task.Partial) {
+	if key == "" || (run == nil && partial == nil) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.run, e.partial = run, partial
+		c.order.MoveToFront(e.elem)
+		return
+	}
+	e := &cacheEntry{run: run, partial: partial}
+	e.elem = c.order.PushFront(key)
+	c.entries[key] = e
+	for len(c.entries) > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(string))
+	}
+}

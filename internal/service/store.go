@@ -1,0 +1,271 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"fveval/internal/service/api"
+	"fveval/internal/task"
+)
+
+// The run store is a disk journal with snapshot compaction: every run
+// lifecycle transition appends one JSON line to journal.jsonl (synced
+// before the transition is acknowledged), and once the journal
+// accumulates enough appends the live run set is rewritten as
+// snapshot.json and the journal truncated. Recovery replays snapshot
+// then journal, tolerating a torn final line (the kill -9 case).
+// Terminal runs therefore survive restarts byte-for-byte — a
+// recovered Report re-encodes identically to its pre-crash JSON —
+// while queued runs are re-admitted and in-flight runs are reported
+// interrupted (their partial engine state is gone).
+const (
+	journalFile  = "journal.jsonl"
+	snapshotFile = "snapshot.json"
+)
+
+// compactThreshold is how many journal appends accumulate before the
+// next append triggers snapshot compaction — the bound on journal
+// growth for a long-lived server.
+const compactThreshold = 256
+
+// runRecord is the persisted form of one run: everything needed to
+// serve its view after a restart. It doubles as the snapshot element.
+type runRecord struct {
+	ID         string         `json:"id"`
+	Client     string         `json:"client,omitempty"`
+	Sub        api.Submission `json:"sub"`
+	Status     string         `json:"status"`
+	Error      string         `json:"error,omitempty"`
+	Cached     bool           `json:"cached,omitempty"`
+	CreatedMS  int64          `json:"created_ms,omitempty"`
+	StartedMS  int64          `json:"started_ms,omitempty"`
+	FinishedMS int64          `json:"finished_ms,omitempty"`
+	Run        *task.Run      `json:"run,omitempty"`
+	Partial    *task.Partial  `json:"partial,omitempty"`
+}
+
+// journalRecord is one append-only journal line.
+type journalRecord struct {
+	Op string `json:"op"` // "submit" | "start" | "finish" | "evict"
+	MS int64  `json:"ms"`
+	// ID locates the run (submit/start/finish); IDs carries a batch
+	// eviction.
+	ID  string   `json:"id,omitempty"`
+	IDs []string `json:"ids,omitempty"`
+	// submit payload
+	Client string          `json:"client,omitempty"`
+	Sub    *api.Submission `json:"sub,omitempty"`
+	// finish payload
+	Status  string        `json:"status,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Cached  bool          `json:"cached,omitempty"`
+	Run     *task.Run     `json:"run,omitempty"`
+	Partial *task.Partial `json:"partial,omitempty"`
+}
+
+// snapshot is the compacted on-disk state.
+type snapshot struct {
+	V    int          `json:"v"`
+	Runs []*runRecord `json:"runs"`
+}
+
+// journal is the append side of the store. A nil *journal is a valid
+// no-persistence store: every method is a no-op, which is how the
+// server runs without -data-dir (and how most tests run).
+type journal struct {
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	appends int // since the last compaction
+}
+
+// maxJournalLine bounds one journal line on replay; table-scale Run
+// payloads are hundreds of KB, so allow plenty of headroom.
+const maxJournalLine = 64 << 20
+
+// openJournal opens (creating if needed) the store under dir and
+// replays it, returning the recovered run records keyed by id.
+func openJournal(dir string) (*journal, map[string]*runRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("service: data dir: %w", err)
+	}
+	recovered := map[string]*runRecord{}
+
+	// Snapshot first, then the journal suffix on top of it.
+	if data, err := os.ReadFile(filepath.Join(dir, snapshotFile)); err == nil {
+		var snap snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, nil, fmt.Errorf("service: corrupt snapshot: %w", err)
+		}
+		for _, r := range snap.Runs {
+			recovered[r.ID] = r
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+
+	jpath := filepath.Join(dir, journalFile)
+	if rf, err := os.Open(jpath); err == nil {
+		sc := bufio.NewScanner(rf)
+		sc.Buffer(make([]byte, 64*1024), maxJournalLine)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec journalRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				// A torn final line is the expected kill -9 artifact:
+				// everything before it is intact, so stop replaying
+				// rather than failing recovery.
+				break
+			}
+			applyRecord(recovered, &rec)
+		}
+		rf.Close()
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("service: journal replay: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &journal{dir: dir, f: f}, recovered, nil
+}
+
+// applyRecord folds one journal line into the recovered state.
+func applyRecord(state map[string]*runRecord, rec *journalRecord) {
+	switch rec.Op {
+	case "submit":
+		if rec.Sub == nil {
+			return
+		}
+		state[rec.ID] = &runRecord{
+			ID: rec.ID, Client: rec.Client, Sub: *rec.Sub,
+			Status: api.StateQueued, CreatedMS: rec.MS,
+		}
+	case "start":
+		if r, ok := state[rec.ID]; ok {
+			r.Status = api.StateRunning
+			r.StartedMS = rec.MS
+		}
+	case "finish":
+		if r, ok := state[rec.ID]; ok {
+			r.Status = rec.Status
+			r.Error = rec.Error
+			r.Cached = rec.Cached
+			r.FinishedMS = rec.MS
+			r.Run = rec.Run
+			r.Partial = rec.Partial
+		}
+	case "evict":
+		for _, id := range rec.IDs {
+			delete(state, id)
+		}
+	}
+}
+
+// append writes one record and syncs it to disk before returning, so
+// an acknowledged transition survives kill -9. Returns the append
+// count since the last compaction (0 for a nil journal).
+func (j *journal) append(rec *journalRecord) (int, error) {
+	if j == nil {
+		return 0, nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return 0, err
+	}
+	if err := j.f.Sync(); err != nil {
+		return 0, err
+	}
+	j.appends++
+	return j.appends, nil
+}
+
+// compact rewrites the snapshot from the live run set and truncates
+// the journal: snapshot.json.tmp is written and synced, renamed over
+// snapshot.json, and only then is journal.jsonl truncated — a crash
+// between those steps replays a journal whose records are idempotent
+// over the new snapshot.
+func (j *journal) compact(records []*runRecord) error {
+	if j == nil {
+		return nil
+	}
+	sorted := append([]*runRecord(nil), records...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].ID < sorted[b].ID })
+	data, err := json.Marshal(snapshot{V: 1, Runs: sorted})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp := filepath.Join(j.dir, snapshotFile+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapshotFile)); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(j.dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	j.appends = 0
+	return nil
+}
+
+// size reports the journal's current byte length (testing hook).
+func (j *journal) size() (int64, error) {
+	if j == nil {
+		return 0, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st, err := j.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Close flushes and closes the journal file.
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -46,6 +46,27 @@ func (r Request) Validate() error {
 	return r.Options.Validate()
 }
 
+// Canonical resolves the request to its content-equivalent normal
+// form: the registry task name with its parameters fully merged
+// against the spec defaults. Two requests with the same Canonical
+// form (options aside) evaluate the same work and produce the same
+// Report, which is what makes cross-request result caching sound —
+// the service tier keys its content-addressed result store on this.
+func (r Request) Canonical() (Request, error) {
+	spec, err := Lookup(r.Task)
+	if err != nil {
+		return Request{}, err
+	}
+	p, err := spec.resolve(r.Params)
+	if err != nil {
+		return Request{}, fmt.Errorf("task %s: %w", spec.Name, err)
+	}
+	if err := r.Options.Validate(); err != nil {
+		return Request{}, err
+	}
+	return Request{Task: spec.Name, Params: p, Options: r.Options}, nil
+}
+
 // Event is one per-job progress notification.
 type Event struct {
 	Task string `json:"task"`

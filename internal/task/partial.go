@@ -35,16 +35,6 @@ type Partial struct {
 	Stats Stats `json:"stats"`
 }
 
-// Submission is the fvevald POST /v1/runs body: a Request plus the
-// partial flag selecting the raw-grid result shape for distributed
-// shards. Shared between the service (cmd/fvevald) and the HTTP
-// runner (internal/dist) so the wire contract is one compile-checked
-// type.
-type Submission struct {
-	Request
-	Partial bool `json:"partial,omitempty"`
-}
-
 // Encode is the canonical wire encoding (indented JSON), matching the
 // Report conventions.
 func (p *Partial) Encode() ([]byte, error) {

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Cluster smoke: launch two fvevald workers on localhost, drive a
-# distributed run through fvevalctl — including a dead-worker retry
-# and a 4-engine loopback fleet — and demand byte-identical output
-# against the single-process run. Finishes by SIGINT-ing the workers
-# and checking they drain and exit 0.
+# Cluster smoke: launch a fvevald coordinator (persistent data dir)
+# plus two workers that register themselves with it, and drive
+# distributed runs through fvevalctl four ways — static -workers
+# fleet, dead-worker retry, loopback fleet, and the registered fleet
+# via -registry and a server-side -distributed submission — demanding
+# byte-identical output against the single-process run each time.
+# Then kill -9 the coordinator, restart it on the same data dir, and
+# check the finished run is served byte-identical from the recovered
+# journal while the workers re-register on their own. Finishes with a
+# /metrics scrape and a graceful SIGINT drain.
 #
 # Run via `make cluster-smoke`; CI runs the same script.
 set -euo pipefail
@@ -11,14 +16,19 @@ cd "$(dirname "$0")/.."
 
 PORT1=${CLUSTER_SMOKE_PORT1:-8191}
 PORT2=${CLUSTER_SMOKE_PORT2:-8192}
+CPORT=${CLUSTER_SMOKE_COORD_PORT:-8190}
 DEAD_PORT=${CLUSTER_SMOKE_DEAD_PORT:-8199}
+COORD_URL="http://127.0.0.1:$CPORT"
 
 BIN=$(mktemp -d)
+DATA="$BIN/data"
 W1=""
 W2=""
+COORD=""
 cleanup() {
   [ -n "$W1" ] && kill "$W1" 2>/dev/null || true
   [ -n "$W2" ] && kill "$W2" 2>/dev/null || true
+  [ -n "$COORD" ] && kill "$COORD" 2>/dev/null || true
   rm -rf "$BIN"
 }
 trap cleanup EXIT
@@ -26,9 +36,13 @@ trap cleanup EXIT
 echo "cluster-smoke: building fveval, fvevald, fvevalctl"
 go build -o "$BIN" ./cmd/fveval ./cmd/fvevald ./cmd/fvevalctl
 
-"$BIN/fvevald" -addr "127.0.0.1:$PORT1" >"$BIN/w1.log" 2>&1 &
+"$BIN/fvevald" -addr "127.0.0.1:$CPORT" -data-dir "$DATA" >"$BIN/coord.log" 2>&1 &
+COORD=$!
+"$BIN/fvevald" -addr "127.0.0.1:$PORT1" -join "$COORD_URL" \
+  -advertise "http://127.0.0.1:$PORT1" >"$BIN/w1.log" 2>&1 &
 W1=$!
-"$BIN/fvevald" -addr "127.0.0.1:$PORT2" >"$BIN/w2.log" 2>&1 &
+"$BIN/fvevald" -addr "127.0.0.1:$PORT2" -join "$COORD_URL" \
+  -advertise "http://127.0.0.1:$PORT2" >"$BIN/w2.log" 2>&1 &
 W2=$!
 
 wait_ready() {
@@ -40,17 +54,33 @@ wait_ready() {
     fi
     sleep 0.1
   done
-  echo "cluster-smoke: worker on port $port never came up" >&2
-  cat "$BIN"/w*.log >&2
+  echo "cluster-smoke: server on port $port never came up" >&2
+  cat "$BIN"/*.log >&2
   exit 1
 }
+wait_ready "$CPORT"
 wait_ready "$PORT1"
 wait_ready "$PORT2"
+
+# wait_fleet polls the coordinator's registry until both workers'
+# self-registrations are live.
+wait_fleet() {
+  for _ in $(seq 1 100); do
+    if [ "$("$BIN/fvevalctl" workers -to "$COORD_URL" 2>/dev/null | grep -c "127.0.0.1:$PORT1\|127.0.0.1:$PORT2")" = 2 ]; then
+      return 0
+    fi
+    sleep 0.3
+  done
+  echo "cluster-smoke: workers never registered with the coordinator" >&2
+  cat "$BIN"/*.log >&2
+  exit 1
+}
+wait_fleet
 
 echo "cluster-smoke: single-process reference run"
 "$BIN/fveval" -table 1 2>/dev/null >"$BIN/single.out"
 
-echo "cluster-smoke: 2 HTTP workers"
+echo "cluster-smoke: 2 HTTP workers (static -workers fleet)"
 "$BIN/fvevalctl" run -task table1 \
   -workers "http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2" \
   2>/dev/null >"$BIN/dist2.out"
@@ -68,6 +98,60 @@ echo "cluster-smoke: 4 loopback workers"
 "$BIN/fvevalctl" run -task table1 -local 4 2>/dev/null >"$BIN/loop4.out"
 diff "$BIN/single.out" "$BIN/loop4.out"
 
+echo "cluster-smoke: registered fleet via -registry (no static worker flags)"
+"$BIN/fvevalctl" run -task table1 -registry "$COORD_URL" 2>/dev/null >"$BIN/reg.out"
+diff "$BIN/single.out" "$BIN/reg.out"
+
+echo "cluster-smoke: server-side distributed run over the registered fleet"
+"$BIN/fvevalctl" submit -to "$COORD_URL" -task table1 -distributed -follow \
+  2>/dev/null >"$BIN/sdist.out"
+diff "$BIN/single.out" "$BIN/sdist.out"
+
+echo "cluster-smoke: persistent store survives kill -9"
+RID=$("$BIN/fvevalctl" submit -to "$COORD_URL" -task table1 2>/dev/null)
+report_when_done() {
+  local out=$1
+  for _ in $(seq 1 100); do
+    if "$BIN/fvevalctl" report -to "$COORD_URL" "$RID" 2>/dev/null >"$out"; then
+      return 0
+    fi
+    sleep 0.3
+  done
+  echo "cluster-smoke: run $RID never produced a report" >&2
+  cat "$BIN"/*.log >&2
+  exit 1
+}
+report_when_done "$BIN/pre-crash.json"
+kill -9 "$COORD"
+wait "$COORD" 2>/dev/null || true
+COORD=""
+"$BIN/fvevald" -addr "127.0.0.1:$CPORT" -data-dir "$DATA" >"$BIN/coord2.log" 2>&1 &
+COORD=$!
+wait_ready "$CPORT"
+report_when_done "$BIN/post-crash.json"
+diff "$BIN/pre-crash.json" "$BIN/post-crash.json"
+
+echo "cluster-smoke: workers re-register with the restarted coordinator"
+wait_fleet
+"$BIN/fvevalctl" run -task table1 -registry "$COORD_URL" 2>/dev/null >"$BIN/reg2.out"
+diff "$BIN/single.out" "$BIN/reg2.out"
+
+# A repeat submission against the restarted coordinator hits the
+# result cache recovered from the journal, and still renders the same
+# report (metrics below then see a non-zero submission count).
+echo "cluster-smoke: recovered result cache serves a repeat submission"
+"$BIN/fvevalctl" submit -to "$COORD_URL" -task table1 -distributed -follow \
+  2>/dev/null >"$BIN/cached.out"
+diff "$BIN/single.out" "$BIN/cached.out"
+
+echo "cluster-smoke: /metrics scrape"
+"$BIN/fvevalctl" metrics -to "$COORD_URL" >"$BIN/metrics.out"
+grep -q '^fveval_runs_submitted_total [1-9]' "$BIN/metrics.out"
+grep -q '^fveval_workers_live 2$' "$BIN/metrics.out"
+grep -q '^fveval_queue_depth ' "$BIN/metrics.out"
+grep -q '^fveval_run_wall_seconds_bucket' "$BIN/metrics.out"
+grep -q '^fveval_solver_wall_seconds_bucket' "$BIN/metrics.out"
+
 echo "cluster-smoke: graceful shutdown (SIGINT drains, exit 0)"
 kill -INT "$W1"
 wait "$W1"
@@ -75,7 +159,11 @@ kill -INT "$W2"
 wait "$W2"
 W1=""
 W2=""
+kill -INT "$COORD"
+wait "$COORD"
+COORD=""
 grep -q "drained" "$BIN/w1.log"
 grep -q "drained" "$BIN/w2.log"
+grep -q "drained" "$BIN/coord2.log"
 
-echo "cluster-smoke: OK — distributed output byte-identical across 2 HTTP workers, dead-worker retry, and 4 loopback workers"
+echo "cluster-smoke: OK — static, registered, and loopback fleets byte-identical; dead-worker retry exercised; journal recovery byte-identical after kill -9; /metrics live"
