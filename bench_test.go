@@ -213,6 +213,49 @@ func BenchmarkFigure6BLEUCorrelation(b *testing.B) {
 	}
 }
 
+// BenchmarkTableAGR regenerates the AGR helper-generation table at
+// full size: the whole helpergen sweep, sampled decoding, pass@k
+// fleet (DESIGN.md §12).
+func BenchmarkTableAGR(b *testing.B) {
+	ctx := context.Background()
+	var snaps []formal.Snapshot
+	isolate(b)
+	for i := 0; i < b.N; i++ {
+		e := task.NewEngine(engine.Config{Samples: 5, Workers: 8})
+		run, err := e.Run(ctx, task.Request{Task: "agr"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snaps = append(snaps, e.FormalStats())
+		if i == 0 {
+			b.Log("\n" + run.Report.Render())
+		}
+	}
+	reportPrefilter(b, snaps...)
+}
+
+// BenchmarkFigureR regenerates the CEX-guided refinement figure at
+// its default retry budgets and reports the refinement rounds spent
+// per regeneration as a custom metric, so BENCH_tables.json tracks
+// feedback-loop traffic next to ns/op.
+func BenchmarkFigureR(b *testing.B) {
+	ctx := context.Background()
+	var rounds int64
+	isolate(b)
+	for i := 0; i < b.N; i++ {
+		e := task.NewEngine(engine.Config{Samples: 5, Workers: 8})
+		run, err := e.Run(ctx, task.Request{Task: "refinement"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += run.Stats.RefineRounds
+		if i == 0 {
+			b.Log("\n" + run.Report.Render())
+		}
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "refine-rounds")
+}
+
 // ---- Distributed layer (DESIGN.md §9) ----------------------------------
 
 // benchDist runs one registry task through the coordinator over a
@@ -345,7 +388,7 @@ func BenchmarkAblationFeedback(b *testing.B) {
 	base := llm.ModelByName("llama-3-8b")
 	wrapped := &llm.FeedbackModel{
 		Base: base,
-		Check: func(resp string) error {
+		Check: func(_ *llm.Prompt, resp string) error {
 			return sva.CheckSyntax(llm.ExtractCode(resp))
 		},
 		MaxRetries: 2,

@@ -33,6 +33,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 
 	"fveval/internal/task"
 )
@@ -73,7 +74,22 @@ type File struct {
 // registry task that reproduces it.
 var artifactName = regexp.MustCompile(`^(?:Dist)?(Table|Figure)(\d+)`)
 
+// namedArtifact maps benchmarks of registry tasks with no paper
+// table/figure number (this repo's own task families) to their
+// registry names.
+var namedArtifact = map[string]string{
+	"TableAGR": "agr",
+	"FigureR":  "refinement",
+}
+
 func taskFor(bench string) (string, bool) {
+	base := strings.TrimPrefix(bench, "Dist")
+	if i := strings.IndexByte(base, '/'); i >= 0 {
+		base = base[:i]
+	}
+	if t, ok := namedArtifact[base]; ok {
+		return t, true
+	}
 	m := artifactName.FindStringSubmatch(bench)
 	if m == nil {
 		return "", false
@@ -135,8 +151,9 @@ func entryFor(name string, ns int64, tail string) Entry {
 }
 
 // gated reports whether a benchmark participates in the regression
-// gate: every table entry, single-process or distributed.
-var gated = regexp.MustCompile(`^(?:Dist)?Table\d`)
+// gate: every table entry plus the named task-family artifacts,
+// single-process or distributed.
+var gated = regexp.MustCompile(`^(?:Dist)?(?:Table\d|TableAGR|FigureR)`)
 
 func main() {
 	prev := flag.String("prev", "", "previous BENCH_tables.json whose ns_per_op becomes this artifact's baseline")

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"fveval/internal/core"
 	"fveval/internal/equiv"
@@ -195,6 +196,18 @@ type state struct {
 	// caching is disabled.
 	designMu   sync.Mutex
 	designMemo map[string]designCell
+
+	// helperMu guards helperMemo, the AGR analogue of designMemo:
+	// identical helper-set snippets recur across samples and models,
+	// so the lemma-pipeline judgment is memoized per (instance,
+	// snippet). nil when caching is disabled.
+	helperMu   sync.Mutex
+	helperMemo map[string]helperCell
+
+	// refineRounds counts FeedbackModel retry rounds performed by
+	// refinement runs on this pool — the per-run delta is surfaced as
+	// the RefineRounds report stat.
+	refineRounds atomic.Int64
 }
 
 func newState(noCache bool) *state {
@@ -203,6 +216,7 @@ func newState(noCache bool) *state {
 		st.cache = equiv.NewCache()
 		st.transMemo = map[string]core.Outcome{}
 		st.designMemo = map[string]designCell{}
+		st.helperMemo = map[string]helperCell{}
 	}
 	return st
 }

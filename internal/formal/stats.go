@@ -28,6 +28,14 @@ type Stats struct {
 	simSATAvoided  atomic.Int64 // SAT calls skipped thanks to a sim witness
 	simBankHits    atomic.Int64 // refutations from a recycled counterexample
 
+	// Assumed-lemma pipeline counters (DESIGN.md §12): candidate
+	// helper assertions submitted to CheckWithLemmas, how many were
+	// themselves proved (and hence assumed), and how many turned out
+	// load-bearing for the target proof.
+	lemmaCandidates  atomic.Int64
+	lemmaProved      atomic.Int64
+	lemmaLoadBearing atomic.Int64
+
 	// Solver wall-clock accounting (DESIGN.md §11): total nanoseconds
 	// spent inside formal checks plus a per-check latency histogram,
 	// surfaced by the service tier's /metrics endpoint.
@@ -119,6 +127,39 @@ func (s *Stats) SimRefuted(fromBank bool, satAvoided int64) {
 	}
 }
 
+// Lemmas records one assumed-lemma pipeline run: the number of
+// candidate helpers submitted, how many were proved (only proved
+// helpers are ever assumed), and how many were load-bearing for the
+// target proof.
+func (s *Stats) Lemmas(candidates, proved, loadBearing int64) {
+	if s == nil {
+		return
+	}
+	s.lemmaCandidates.Add(candidates)
+	s.lemmaProved.Add(proved)
+	s.lemmaLoadBearing.Add(loadBearing)
+}
+
+// LemmaStats is a point-in-time copy of the assumed-lemma counters.
+type LemmaStats struct {
+	// Candidates is the number of helper assertions submitted.
+	Candidates int64 `json:"candidates"`
+	// Proved is how many candidates were proved and assumed.
+	Proved int64 `json:"proved"`
+	// LoadBearing is how many proved helpers the target proof
+	// actually depended on.
+	LoadBearing int64 `json:"load_bearing"`
+}
+
+func (s LemmaStats) String() string {
+	if s.Candidates == 0 {
+		return "lemma pipeline: no candidates"
+	}
+	return fmt.Sprintf(
+		"lemma pipeline: %d candidates, %d proved and assumed, %d load-bearing",
+		s.Candidates, s.Proved, s.LoadBearing)
+}
+
 // SimStats is a point-in-time copy of the simulation-prefilter
 // counters.
 type SimStats struct {
@@ -158,6 +199,8 @@ type Snapshot struct {
 	SolveWallHist [SolveWallBucketCount]int64 `json:"solve_wall_hist,omitzero"`
 	// Sim carries the simulation-prefilter counters.
 	Sim SimStats `json:"sim"`
+	// Lemma carries the assumed-lemma pipeline counters.
+	Lemma LemmaStats `json:"lemma,omitzero"`
 }
 
 // Snapshot copies the counters; zero for a nil receiver.
@@ -185,6 +228,11 @@ func (s *Stats) Snapshot() Snapshot {
 			SATAvoided:  s.simSATAvoided.Load(),
 			BankHits:    s.simBankHits.Load(),
 		},
+		Lemma: LemmaStats{
+			Candidates:  s.lemmaCandidates.Load(),
+			Proved:      s.lemmaProved.Load(),
+			LoadBearing: s.lemmaLoadBearing.Load(),
+		},
 	}
 }
 
@@ -211,6 +259,11 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 			SATAvoided:  s.Sim.SATAvoided + o.Sim.SATAvoided,
 			BankHits:    s.Sim.BankHits + o.Sim.BankHits,
 		},
+		Lemma: LemmaStats{
+			Candidates:  s.Lemma.Candidates + o.Lemma.Candidates,
+			Proved:      s.Lemma.Proved + o.Lemma.Proved,
+			LoadBearing: s.Lemma.LoadBearing + o.Lemma.LoadBearing,
+		},
 	}
 }
 
@@ -236,6 +289,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 			Refutations: s.Sim.Refutations - o.Sim.Refutations,
 			SATAvoided:  s.Sim.SATAvoided - o.Sim.SATAvoided,
 			BankHits:    s.Sim.BankHits - o.Sim.BankHits,
+		},
+		Lemma: LemmaStats{
+			Candidates:  s.Lemma.Candidates - o.Lemma.Candidates,
+			Proved:      s.Lemma.Proved - o.Lemma.Proved,
+			LoadBearing: s.Lemma.LoadBearing - o.Lemma.LoadBearing,
 		},
 	}
 }

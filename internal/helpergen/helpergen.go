@@ -1,0 +1,337 @@
+// Package helpergen generates the AGR (assertion-guided reasoning)
+// dataset: synthetic designs paired with a true target assertion that
+// the model checker cannot prove by k-induction alone, plus the golden
+// helper lemmas that unlock the proof once assumed (the paper's
+// data_agr/helpergen task family). Every instance is hard by
+// construction relative to the checker's default induction bound:
+// either the induction step admits a spurious counterexample at every
+// depth (a stall input lets the violation frontier slide arbitrarily
+// far out), or the target only becomes inductive at a depth beyond
+// mc.Options' default MaxInduction.
+//
+// Three design families cover the canonical helper shapes:
+//
+//   - stride: a gated counter stepping by a power of two; the target
+//     excludes an off-stride value, provable only under the alignment
+//     invariant (cnt & (S-1)) == 0.
+//   - lockstep: two registers advancing in lockstep feeding a deep
+//     mismatch delay chain into a sticky error flag; the target
+//     (err_out == 0) needs the chain-clear invariant, and the golden
+//     set pairs it with the (redundant) lockstep equality so the
+//     load-bearing ablation has both an essential and a merely
+//     supportive helper to tell apart.
+//   - ring: a rotating one-filled ring; the single-bit target needs
+//     the full-ring invariant (r == all-ones).
+//
+// Every design also carries a decoy stride counter (dcnt) whose valid
+// but irrelevant invariant populates the "provable yet insufficient"
+// proxy response class.
+package helpergen
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"fveval/internal/sva"
+)
+
+// Instance is one AGR test case: a design, its testbench header, the
+// stuck target assertion, and the response pools the proxy models draw
+// from.
+type Instance struct {
+	ID   string
+	Kind string // "stride", "lockstep", or "ring"
+
+	Design   string // DUT SystemVerilog
+	Bench    string // testbench header SystemVerilog
+	DUTTop   string
+	BenchTop string
+
+	// Target is the stuck assertion: true from reset but not
+	// k-inductive alone within the checker's default bound. TargetAst
+	// is its parsed form (construction self-check at generation time).
+	Target    string
+	TargetAst *sva.Assertion
+
+	// Helpers is the golden helper set: spliced into the bench and run
+	// through the lemma pipeline, they make Target provable.
+	Helpers []string
+	// Insufficient is a provable helper that does not unlock the
+	// target (the decoy counter's invariant, or a genuine-but-partial
+	// golden subset); Invalid is falsifiable from reset. Both feed the
+	// proxy response classes.
+	Insufficient string
+	Invalid      string
+}
+
+// assertStmt renders one labeled concurrent assertion in the
+// benchmark's house style.
+func assertStmt(label, body string) string {
+	return fmt.Sprintf(`%s: assert property (@(posedge clk) disable iff (tb_reset)
+  %s
+);`, label, body)
+}
+
+// bench renders a testbench header binding the DUT ports, mirroring
+// the rtlgen convention (ports re-declared as inputs, plus the
+// tb_reset abort net).
+func bench(top string, ports []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n  clk,\n  reset_", top)
+	for _, p := range ports {
+		name := p
+		if i := strings.LastIndex(p, " "); i >= 0 {
+			name = p[i+1:]
+		}
+		fmt.Fprintf(&b, ",\n  %s", name)
+	}
+	b.WriteString("\n);\n")
+	b.WriteString("input clk;\ninput reset_;\n")
+	for _, p := range ports {
+		fmt.Fprintf(&b, "input %s;\n", p)
+	}
+	b.WriteString("wire tb_reset;\nassign tb_reset = (reset_ == 1'b0);\nendmodule\n")
+	return b.String()
+}
+
+// decoy is the per-design decoy counter fragment: an even-stride
+// counter whose alignment invariant is provable but never load-bearing
+// for any family's target.
+const decoyRegs = "reg [3:0] dcnt_q;\n"
+const decoyReset = "    dcnt_q <= 'd0;\n"
+const decoyStep = "    dcnt_q <= dcnt_q + 'd2;\n"
+
+const decoyHelper = "((dcnt & 'd1) == 'd0)"
+
+// GenerateStride emits the stride family: a gated counter stepping by
+// stride (2 or 4) inside width bits, with an off-stride target value.
+// The en input lets the induction-step violation stall arbitrarily, so
+// the target alone is not k-inductive at any depth.
+func GenerateStride(width, stride, target int) *Instance {
+	full := fmt.Sprintf(
+		`module stride (
+  clk,
+  reset_,
+  en,
+  cnt,
+  dcnt
+);
+input clk;
+input reset_;
+input en;
+output [%d:0] cnt;
+output [3:0] dcnt;
+reg [%d:0] cnt_q;
+%salways @(posedge clk) begin
+  if (!reset_) begin
+    cnt_q <= 'd0;
+%s  end else begin
+    cnt_q <= en ? (cnt_q + 'd%d) : cnt_q;
+%s  end
+end
+assign cnt = cnt_q;
+assign dcnt = dcnt_q;
+endmodule
+`, width-1, width-1, decoyRegs, decoyReset, stride, decoyStep)
+
+	inst := &Instance{
+		ID:       fmt.Sprintf("agr_stride_wd_%d_st_%d_tg_%d", width, stride, target),
+		Kind:     "stride",
+		Design:   full,
+		DUTTop:   "stride",
+		BenchTop: "stride_tb",
+		Bench: bench("stride_tb", []string{
+			"en",
+			fmt.Sprintf("[%d:0] cnt", width-1),
+			"[3:0] dcnt",
+		}),
+		Target: assertStmt("target_unreach", fmt.Sprintf("(cnt != 'd%d)", target)),
+		Helpers: []string{
+			assertStmt("helper_align", fmt.Sprintf("((cnt & 'd%d) == 'd0)", stride-1)),
+		},
+		Insufficient: assertStmt("helper_decoy", decoyHelper),
+		Invalid:      assertStmt("helper_stuck", "(cnt == 'd0)"),
+	}
+	return finish(inst)
+}
+
+// GenerateLockstep emits the lockstep family: registers x and y share
+// a stimulus increment, a chain-length-deep mismatch delay line feeds
+// a sticky error flag. The target (err_out == 0) only becomes
+// inductive beyond the checker's default bound for chain >= 10, so it
+// is Unknown alone. The golden set is {x == y, dchain == 0}: the
+// chain-clear invariant is the load-bearing one (it is 2-inductive —
+// two clear frames imply the sticky equality — and unlocks the target
+// at depth 1), while the equality helper is deliberately redundant,
+// exercising the ablation's LoadBearing=false path. The equality
+// alone is the family's Insufficient class: provable, but flushing a
+// dirty chain takes chain frames, past the induction bound.
+func GenerateLockstep(width, chain int) *Instance {
+	full := fmt.Sprintf(
+		`module lockstep (
+  clk,
+  reset_,
+  inc,
+  x,
+  y,
+  dchain,
+  err_out,
+  dcnt
+);
+input clk;
+input reset_;
+input [%d:0] inc;
+output [%d:0] x;
+output [%d:0] y;
+output [%d:0] dchain;
+output err_out;
+output [3:0] dcnt;
+reg [%d:0] x_q;
+reg [%d:0] y_q;
+reg [%d:0] dchain_q;
+reg err_q;
+%salways @(posedge clk) begin
+  if (!reset_) begin
+    x_q <= 'd0;
+    y_q <= 'd0;
+    dchain_q <= 'd0;
+    err_q <= 'd0;
+%s  end else begin
+    x_q <= x_q + inc;
+    y_q <= y_q + inc;
+    dchain_q <= (x_q != y_q) ? ((dchain_q << 1) | 'd1) : (dchain_q << 1);
+    err_q <= err_q | dchain_q[%d];
+%s  end
+end
+assign x = x_q;
+assign y = y_q;
+assign dchain = dchain_q;
+assign err_out = err_q;
+assign dcnt = dcnt_q;
+endmodule
+`, width-1, width-1, width-1, chain-1, width-1, width-1, chain-1,
+		decoyRegs, decoyReset, chain-1, decoyStep)
+
+	inst := &Instance{
+		ID:       fmt.Sprintf("agr_lockstep_wd_%d_ch_%d", width, chain),
+		Kind:     "lockstep",
+		Design:   full,
+		DUTTop:   "lockstep",
+		BenchTop: "lockstep_tb",
+		Bench: bench("lockstep_tb", []string{
+			fmt.Sprintf("[%d:0] inc", width-1),
+			fmt.Sprintf("[%d:0] x", width-1),
+			fmt.Sprintf("[%d:0] y", width-1),
+			fmt.Sprintf("[%d:0] dchain", chain-1),
+			"err_out",
+			"[3:0] dcnt",
+		}),
+		Target: assertStmt("target_err", "(err_out == 1'b0)"),
+		Helpers: []string{
+			assertStmt("helper_lock", "(x == y)"),
+			assertStmt("helper_chain", "(dchain == 'd0)"),
+		},
+		// A genuine golden subset: provable alone, yet the target stays
+		// stuck without the chain-clear invariant.
+		Insufficient: assertStmt("helper_lock", "(x == y)"),
+		Invalid:      assertStmt("helper_still", "(x == 'd0)"),
+	}
+	return finish(inst)
+}
+
+// GenerateRing emits the ring family: an all-ones ring rotating under
+// an enable. The single-bit target ((r & 1) == 1) stalls out of every
+// induction depth alone and follows directly from the full-ring
+// invariant r == 2^n - 1.
+func GenerateRing(n int) *Instance {
+	fullVal := (uint64(1) << n) - 1
+	full := fmt.Sprintf(
+		`module ring (
+  clk,
+  reset_,
+  en,
+  r,
+  dcnt
+);
+input clk;
+input reset_;
+input en;
+output [%d:0] r;
+output [3:0] dcnt;
+reg [%d:0] r_q;
+%salways @(posedge clk) begin
+  if (!reset_) begin
+    r_q <= 'd%d;
+%s  end else begin
+    r_q <= en ? ((r_q << 1) | (r_q >> %d)) : r_q;
+%s  end
+end
+assign r = r_q;
+assign dcnt = dcnt_q;
+endmodule
+`, n-1, n-1, decoyRegs, fullVal, decoyReset, n-1, decoyStep)
+
+	inst := &Instance{
+		ID:       fmt.Sprintf("agr_ring_nb_%d", n),
+		Kind:     "ring",
+		Design:   full,
+		DUTTop:   "ring",
+		BenchTop: "ring_tb",
+		Bench: bench("ring_tb", []string{
+			"en",
+			fmt.Sprintf("[%d:0] r", n-1),
+			"[3:0] dcnt",
+		}),
+		Target: assertStmt("target_bit", "((r & 'd1) == 'd1)"),
+		Helpers: []string{
+			assertStmt("helper_full", fmt.Sprintf("(r == 'd%d)", fullVal)),
+		},
+		Insufficient: assertStmt("helper_decoy", decoyHelper),
+		Invalid:      assertStmt("helper_dark", "((r & 'd1) == 'd0)"),
+	}
+	return finish(inst)
+}
+
+// finish parses the target (a generation-time self-check: a dataset
+// instance with an unparsable target is a construction bug, so panic
+// loudly rather than emit it).
+func finish(inst *Instance) *Instance {
+	a, err := sva.ParseAssertion(inst.Target)
+	if err != nil {
+		panic(fmt.Sprintf("helpergen: %s: target does not parse: %v", inst.ID, err))
+	}
+	inst.TargetAst = a
+	return inst
+}
+
+// sweepOnce caches the benchmark sweep: generation is deterministic,
+// and instances are shared read-only across the engine's workers.
+var sweepOnce sync.Once
+var sweepInsts []*Instance
+
+// Sweep returns the fixed 18-instance AGR benchmark sweep: six
+// parameter points per family, in a deterministic order. Instances
+// are shared; treat them as read-only.
+func Sweep() []*Instance {
+	sweepOnce.Do(func() {
+		var out []*Instance
+		// stride: width x stride with an off-stride target value.
+		for _, w := range []int{4, 6, 8} {
+			out = append(out, GenerateStride(w, 2, 5))
+			out = append(out, GenerateStride(w, 4, 7))
+		}
+		// lockstep: the chain must exceed the checker's default
+		// MaxInduction (10) minus the two base frames.
+		for _, w := range []int{4, 6, 8} {
+			out = append(out, GenerateLockstep(w, 11))
+			out = append(out, GenerateLockstep(w, 12))
+		}
+		// ring: widths around the induction bound.
+		for _, n := range []int{9, 10, 11, 12, 13, 14} {
+			out = append(out, GenerateRing(n))
+		}
+		sweepInsts = out
+	})
+	return sweepInsts
+}

@@ -2,24 +2,39 @@ package llm
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // FeedbackModel wraps a base model with a tool-feedback refinement
-// loop — the agentic usage the paper's §6 proposes as future work:
-// when a response fails the formal tool's compile step, the failure
-// message is appended to the prompt and the model retries.
+// loop — the agentic usage the paper's §6 proposes and the CEX-guided
+// refinement track measures (Figure R): when a response fails the
+// tool check, the failure message (syntax error, or a rendered
+// counterexample trace) is appended to the prompt and the model
+// retries.
 //
 // For proxy models the retry is modeled as a fresh sample with the
 // feedback folded into the sampling salt; real endpoint models receive
 // the feedback text verbatim.
 type FeedbackModel struct {
 	Base Model
-	// Check returns nil when the response compiles; the error text is
-	// fed back on retry. Typically sva.CheckSyntax on the extracted
-	// code.
-	Check func(response string) error
-	// MaxRetries bounds refinement rounds (default 2).
+	// Check returns nil when the response passes the tool; the error
+	// text is fed back on retry. The original prompt is passed so
+	// checks can reach the instance context (reference assertion,
+	// design). Typically sva.CheckSyntax on the extracted code, or
+	// core.RefineFeedback for counterexample-guided refinement.
+	Check func(p *Prompt, response string) error
+	// MaxRetries bounds refinement rounds. The contract is explicit:
+	//
+	//	> 0 — at most that many retries;
+	//	  0 — the default of 2 retries;
+	//	< 0 — refinement disabled (the base response is returned
+	//	      unchecked).
 	MaxRetries int
+	// Rounds, when non-nil, accumulates the number of retry rounds
+	// actually performed (a Generate call that passes on the first try
+	// adds 0). Shared across goroutines; surfaced as the RefineRounds
+	// report stat.
+	Rounds *atomic.Int64
 }
 
 // Name implements Model.
@@ -33,24 +48,30 @@ func (m *FeedbackModel) ContextWindow() int { return m.Base.ContextWindow() }
 // the last response.
 func (m *FeedbackModel) Generate(p *Prompt, sample int) string {
 	retries := m.MaxRetries
-	if retries == 0 {
+	switch {
+	case retries < 0:
+		retries = 0
+	case retries == 0:
 		retries = 2
 	}
 	resp := m.Base.Generate(p, sample)
-	if m.Check == nil {
+	if m.Check == nil || retries == 0 {
 		return resp
 	}
 	for round := 1; round <= retries; round++ {
-		err := m.Check(resp)
+		err := m.Check(p, resp)
 		if err == nil {
 			return resp
 		}
+		if m.Rounds != nil {
+			m.Rounds.Add(1)
+		}
 		// Fold the tool feedback into the prompt (endpoint models see
 		// the text; proxies see a distinct instance salt so the retry
-		// is an independent draw — empirically how retry-on-compile-
-		// error behaves).
+		// is an independent draw — empirically how retry-on-tool-
+		// rejection behaves).
 		fp := *p
-		fp.User = p.User + fmt.Sprintf("\nThe previous response failed to compile: %v\nPlease fix the SystemVerilog and answer again.\n", err)
+		fp.User = p.User + fmt.Sprintf("\nThe previous response was rejected by the verification tool: %v\nPlease fix the SystemVerilog and answer again.\n", err)
 		fp.InstanceID = fmt.Sprintf("%s/fb%d", p.InstanceID, round)
 		resp = m.Base.Generate(&fp, sample)
 	}

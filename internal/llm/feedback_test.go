@@ -1,7 +1,9 @@
 package llm
 
 import (
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"fveval/internal/sva"
@@ -17,7 +19,7 @@ func TestFeedbackModelRefines(t *testing.T) {
 	}}
 	wrapped := &FeedbackModel{
 		Base: base,
-		Check: func(resp string) error {
+		Check: func(_ *Prompt, resp string) error {
 			return sva.CheckSyntax(ExtractCode(resp))
 		},
 		MaxRetries: 3,
@@ -57,7 +59,7 @@ func TestFeedbackModelPassesThroughGood(t *testing.T) {
 		Window:    128000,
 		Human:     TaskProfile{Syntax: 1.0, Func: 1.0, Partial: 1.0},
 	}}
-	wrapped := &FeedbackModel{Base: base, Check: func(resp string) error {
+	wrapped := &FeedbackModel{Base: base, Check: func(_ *Prompt, resp string) error {
 		return sva.CheckSyntax(ExtractCode(resp))
 	}}
 	ref, _ := sva.ParseAssertion(`assert property (@(posedge clk) a |-> b);`)
@@ -70,3 +72,50 @@ func TestFeedbackModelPassesThroughGood(t *testing.T) {
 		t.Fatalf("passing responses must not be altered")
 	}
 }
+
+// TestFeedbackModelContract pins the explicit MaxRetries contract
+// (-1 disables, 0 defaults to 2, n>0 bounds) and the Rounds counter.
+func TestFeedbackModelContract(t *testing.T) {
+	base := &ProxyModel{P: Profile{
+		ModelName: "always-bad",
+		Window:    128000,
+		// Syntax 0: every draw is the syntax-failure class.
+		Human: TaskProfile{},
+	}}
+	ref, _ := sva.ParseAssertion(`assert property (@(posedge clk) a |-> b);`)
+	alwaysFail := func(_ *Prompt, _ string) error { return errIota }
+
+	var rounds atomic.Int64
+	wrapped := &FeedbackModel{Base: base, Check: alwaysFail, MaxRetries: 3, Rounds: &rounds}
+	p := BuildHumanPrompt("contract", "tb", "spec", ref)
+	wrapped.Generate(p, 0)
+	if got := rounds.Load(); got != 3 {
+		t.Fatalf("MaxRetries=3: got %d rounds, want 3", got)
+	}
+
+	rounds.Store(0)
+	wrapped.MaxRetries = 0 // documented default of 2
+	wrapped.Generate(p, 0)
+	if got := rounds.Load(); got != 2 {
+		t.Fatalf("MaxRetries=0: got %d rounds, want default 2", got)
+	}
+
+	rounds.Store(0)
+	wrapped.MaxRetries = -1 // disabled
+	if got := wrapped.Generate(p, 0); got != base.Generate(p, 0) {
+		t.Fatal("MaxRetries=-1 must return the unrefined base response")
+	}
+	if got := rounds.Load(); got != 0 {
+		t.Fatalf("MaxRetries=-1: got %d rounds, want 0", got)
+	}
+
+	// A passing check performs zero rounds.
+	rounds.Store(0)
+	ok := &FeedbackModel{Base: base, Check: func(_ *Prompt, _ string) error { return nil }, MaxRetries: 3, Rounds: &rounds}
+	ok.Generate(p, 0)
+	if got := rounds.Load(); got != 0 {
+		t.Fatalf("passing response: got %d rounds, want 0", got)
+	}
+}
+
+var errIota = errors.New("rejected")

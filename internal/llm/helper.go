@@ -1,0 +1,57 @@
+package llm
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// helperResponse synthesizes an AGR helper-set response from the
+// instance's ground-truth pools, class-typed like the other proxy
+// channels (DESIGN.md §2):
+//
+//	classEquivalent — the golden helper set, shuffled (the judge's
+//	                  prove-then-assume fixpoint is order-independent)
+//	                  and sometimes relabeled: valid and unlocking.
+//	classPartial    — the Insufficient pool: a provable invariant
+//	                  (often the decoy counter's) that does not unlock
+//	                  the target.
+//	classWrong      — the Invalid pool: parses and elaborates but is
+//	                  falsifiable, so the lemma pipeline refuses to
+//	                  assume it.
+//	classSyntax     — text the compile step rejects.
+func (m *ProxyModel) helperResponse(p *Prompt, class responseClass, rng *rand.Rand) string {
+	inst := p.Helper
+	if inst == nil {
+		return "assert property (@(posedge clk) 1'b1);"
+	}
+	switch class {
+	case classEquivalent:
+		helpers := append([]string(nil), inst.Helpers...)
+		rng.Shuffle(len(helpers), func(i, j int) {
+			helpers[i], helpers[j] = helpers[j], helpers[i]
+		})
+		for i, h := range helpers {
+			if rng.Intn(3) == 0 {
+				helpers[i] = strings.Replace(h, ": assert property", "_"+pickWord(rng)+": assert property", 1)
+			}
+		}
+		return strings.Join(helpers, "\n")
+	case classPartial:
+		return inst.Insufficient
+	case classWrong:
+		return inst.Invalid
+	default:
+		broken := inst.Helpers[rng.Intn(len(inst.Helpers))]
+		switch rng.Intn(3) {
+		case 0:
+			// unbalanced parenthesis
+			return strings.Replace(broken, ");", "));", 1)
+		case 1:
+			// hallucinated "invariant" keyword
+			return strings.Replace(broken, "assert property", "assert invariant property", 1)
+		default:
+			// dropped terminator: the statement never closes
+			return strings.TrimSuffix(strings.TrimSpace(broken), ";")
+		}
+	}
+}

@@ -67,6 +67,7 @@ type Profile struct {
 	Machine3 TaskProfile // three-shot
 	Pipeline TaskProfile // Design2SVA pipeline category
 	FSM      TaskProfile // Design2SVA FSM category
+	AGR      TaskProfile // AGR helper-generation task
 }
 
 // ProxyModel synthesizes responses by transforming the hidden
@@ -93,6 +94,8 @@ func (m *ProxyModel) profileFor(p *Prompt) TaskProfile {
 			return m.P.Machine3
 		}
 		return m.P.Machine0
+	case AGRHelper:
+		return m.P.AGR
 	default:
 		if p.Design != nil && p.Design.Kind == "fsm" {
 			return m.P.FSM
@@ -146,9 +149,12 @@ func (m *ProxyModel) Generate(p *Prompt, sample int) string {
 	}
 	style := m.rng(p, "style/"+shots+"/"+strconv.Itoa(sample))
 	var code string
-	if p.Task == Design2SVA {
+	switch p.Task {
+	case Design2SVA:
 		code = m.designResponse(p, class, style)
-	} else {
+	case AGRHelper:
+		code = m.helperResponse(p, class, style)
+	default:
 		code = m.translationResponse(p, class, style)
 	}
 	return "```systemverilog\n" + code + "\n```"

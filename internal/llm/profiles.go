@@ -7,7 +7,12 @@ package llm
 // the SHAPE of the evaluation (model ranking, syntax≫func gap,
 // full-vs-partial gap, ICL gains, pass@k improvements); absolute
 // values track the targets up to sampling noise on the finite
-// instance sets.
+// instance sets. The AGR column has no published table to calibrate
+// against (the paper reports the task family without per-model
+// numbers), so its targets encode the expected shape instead: helper
+// generation is harder than translation (Func well below Machine3),
+// with a wide valid-but-insufficient band (Partial − Func) from
+// models proposing true invariants that do not unlock the target.
 var Profiles = []Profile{
 	{
 		ModelName: "gpt-4o",
@@ -17,6 +22,7 @@ var Profiles = []Profile{
 		Machine3:  TaskProfile{Syntax: 0.937, Func: 0.467, Partial: 0.570, Jitter: 0.12},
 		Pipeline:  TaskProfile{Syntax: 0.802, Func: 0.104, Partial: 0.104, Jitter: 0.55},
 		FSM:       TaskProfile{Syntax: 0.993, Func: 0.373, Partial: 0.373, Jitter: 0.75},
+		AGR:       TaskProfile{Syntax: 0.940, Func: 0.320, Partial: 0.620, Jitter: 0.45},
 	},
 	{
 		ModelName: "gemini-1.5-pro",
@@ -26,6 +32,7 @@ var Profiles = []Profile{
 		Machine3:  TaskProfile{Syntax: 0.880, Func: 0.417, Partial: 0.517, Jitter: 0.12},
 		Pipeline:  TaskProfile{Syntax: 0.665, Func: 0.175, Partial: 0.175, Jitter: 0.55},
 		FSM:       TaskProfile{Syntax: 0.950, Func: 0.427, Partial: 0.427, Jitter: 0.75},
+		AGR:       TaskProfile{Syntax: 0.900, Func: 0.270, Partial: 0.560, Jitter: 0.45},
 	},
 	{
 		ModelName: "gemini-1.5-flash",
@@ -35,6 +42,7 @@ var Profiles = []Profile{
 		Machine3:  TaskProfile{Syntax: 0.837, Func: 0.397, Partial: 0.480, Jitter: 0.10},
 		Pipeline:  TaskProfile{Syntax: 0.969, Func: 0.025, Partial: 0.025, Jitter: 0.30},
 		FSM:       TaskProfile{Syntax: 0.996, Func: 0.079, Partial: 0.079, Jitter: 0.35},
+		AGR:       TaskProfile{Syntax: 0.930, Func: 0.150, Partial: 0.480, Jitter: 0.30},
 	},
 	{
 		ModelName: "mixtral-8x22b",
@@ -44,6 +52,7 @@ var Profiles = []Profile{
 		Machine3:  TaskProfile{Syntax: 0.880, Func: 0.430, Partial: 0.523, Jitter: 0.10},
 		Pipeline:  TaskProfile{Syntax: 0.867, Func: 0.119, Partial: 0.119, Jitter: 0.55},
 		FSM:       TaskProfile{Syntax: 0.974, Func: 0.054, Partial: 0.054, Jitter: 0.25},
+		AGR:       TaskProfile{Syntax: 0.880, Func: 0.130, Partial: 0.450, Jitter: 0.40},
 	},
 	{
 		ModelName: "llama-3.1-70b",
@@ -53,6 +62,7 @@ var Profiles = []Profile{
 		Machine3:  TaskProfile{Syntax: 0.920, Func: 0.457, Partial: 0.567, Jitter: 0.14},
 		Pipeline:  TaskProfile{Syntax: 0.960, Func: 0.167, Partial: 0.167, Jitter: 0.65},
 		FSM:       TaskProfile{Syntax: 0.940, Func: 0.231, Partial: 0.231, Jitter: 0.70},
+		AGR:       TaskProfile{Syntax: 0.910, Func: 0.220, Partial: 0.520, Jitter: 0.50},
 	},
 	{
 		ModelName: "llama-3-70b",
@@ -60,6 +70,7 @@ var Profiles = []Profile{
 		Human:     TaskProfile{Syntax: 0.899, Func: 0.291, Partial: 0.506, Jitter: 0.10},
 		Machine0:  TaskProfile{Syntax: 0.863, Func: 0.330, Partial: 0.430, Jitter: 0.10},
 		Machine3:  TaskProfile{Syntax: 0.860, Func: 0.380, Partial: 0.503, Jitter: 0.10},
+		AGR:       TaskProfile{Syntax: 0.840, Func: 0.110, Partial: 0.390, Jitter: 0.35},
 	},
 	{
 		ModelName: "llama-3.1-8b",
@@ -69,6 +80,7 @@ var Profiles = []Profile{
 		Machine3:  TaskProfile{Syntax: 0.840, Func: 0.267, Partial: 0.370, Jitter: 0.10},
 		Pipeline:  TaskProfile{Syntax: 0.904, Func: 0.150, Partial: 0.150, Jitter: 0.60},
 		FSM:       TaskProfile{Syntax: 0.906, Func: 0.121, Partial: 0.121, Jitter: 0.55},
+		AGR:       TaskProfile{Syntax: 0.860, Func: 0.080, Partial: 0.360, Jitter: 0.40},
 	},
 	{
 		ModelName: "llama-3-8b",
@@ -76,6 +88,7 @@ var Profiles = []Profile{
 		Human:     TaskProfile{Syntax: 0.747, Func: 0.063, Partial: 0.215, Jitter: 0.10},
 		Machine0:  TaskProfile{Syntax: 0.673, Func: 0.187, Partial: 0.320, Jitter: 0.10},
 		Machine3:  TaskProfile{Syntax: 0.827, Func: 0.240, Partial: 0.397, Jitter: 0.10},
+		AGR:       TaskProfile{Syntax: 0.760, Func: 0.040, Partial: 0.260, Jitter: 0.30},
 	},
 }
 

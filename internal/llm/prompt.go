@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"fveval/internal/gen/rtlgen"
+	"fveval/internal/helpergen"
 	"fveval/internal/sva"
 )
 
@@ -23,6 +24,7 @@ const (
 	NL2SVAHuman Task = iota
 	NL2SVAMachine
 	Design2SVA
+	AGRHelper
 )
 
 func (t Task) String() string {
@@ -31,6 +33,8 @@ func (t Task) String() string {
 		return "nl2sva-human"
 	case NL2SVAMachine:
 		return "nl2sva-machine"
+	case AGRHelper:
+		return "agr"
 	}
 	return "design2sva"
 }
@@ -49,6 +53,7 @@ type Prompt struct {
 	// realistic responses. Endpoint-backed models must ignore these.
 	Reference *sva.Assertion
 	Design    *rtlgen.Instance
+	Helper    *helpergen.Instance
 }
 
 const systemPrompt = `You are an AI assistant tasked with formal verification of register transfer level (RTL) designs.
@@ -159,6 +164,37 @@ When implementing the assertion, generate a concurrent SVA assertion and do not 
 		User:       u.String(),
 		InstanceID: inst.ID,
 		Design:     inst,
+	}
+}
+
+const systemPromptAGR = `You are an AI assistant tasked with formal verification of register transfer level (RTL) designs.
+Your job is to write helper assertions (lemmas) that let a formal tool prove a target assertion stuck at an inconclusive bound.`
+
+// BuildHelperPrompt renders the AGR (assertion-guided reasoning)
+// prompt: the design, the bench, the stuck target, and a request for
+// helper assertions that unlock its proof.
+func BuildHelperPrompt(inst *helpergen.Instance) *Prompt {
+	var u strings.Builder
+	u.WriteString("Here is the design RTL under verification:\n\n")
+	u.WriteString(inst.Design)
+	u.WriteString("\nHere is the formal testbench binding the design:\n\n")
+	u.WriteString(inst.Bench)
+	u.WriteString("\nThe following target assertion is TRUE but the proof is inconclusive: the property is not inductive, and bounded model checking finds no counterexample.\n\n")
+	u.WriteString(inst.Target)
+	u.WriteString(`
+
+Question: write one or more helper assertions (lemmas) over the testbench signals such that, once the helpers are proved, assuming them makes the target assertion provable by induction.
+Each helper must itself be an invariant of the design (the tool will prove every helper before assuming it).
+Write each helper as a complete concurrent SVA assertion statement ending in a semicolon.
+`)
+	u.WriteString(outputRules)
+	u.WriteString("\nAnswer:\n")
+	return &Prompt{
+		Task:       AGRHelper,
+		System:     systemPromptAGR,
+		User:       u.String(),
+		InstanceID: inst.ID,
+		Helper:     inst,
 	}
 }
 

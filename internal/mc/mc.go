@@ -127,7 +127,7 @@ func CheckAssertion(sys *rtl.System, a *sva.Assertion, opt Options) (Result, err
 	if ltl.HasUnbounded(f) {
 		return checkLiveness(sys, f, abort, assumes, opt)
 	}
-	return checkSafety(sys, f, abort, assumes, opt)
+	return checkSafety(sys, f, abort, assumes, nil, opt)
 }
 
 // CheckCover decides reachability for a cover property: whether some
@@ -403,6 +403,7 @@ type safetySession struct {
 	f       ltl.Formula
 	abort   sva.Expr
 	assumes []ltl.Formula
+	lemmas  []assumedLemma
 	d       int
 	opt     Options
 
@@ -414,6 +415,7 @@ type safetySession struct {
 
 	frames   int   // frames currently unrolled
 	asmNext  []int // per assumption: next position to assert
+	lemNext  []int // per assumed lemma: next position to assert
 	goodNext int   // induction: good-attempt constraints asserted below this
 
 	// Path constraints (assumption instances, good-attempt clauses)
@@ -436,7 +438,7 @@ type safetySession struct {
 	solves, conflicts, learntKept, hashMark int64
 }
 
-func newSafetySession(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, d int, freeInit bool, opt Options) *safetySession {
+func newSafetySession(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, lemmas []assumedLemma, d int, freeInit bool, opt Options) *safetySession {
 	b := logic.NewBuilder()
 	fe := newFrameEnv(b, sys)
 	fe.initFrame0(freeInit)
@@ -447,10 +449,11 @@ func newSafetySession(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []
 		s.SetBudget(opt.Budget)
 	}
 	ss := &safetySession{
-		sys: sys, f: f, abort: abort, assumes: assumes, d: d, opt: opt,
+		sys: sys, f: f, abort: abort, assumes: assumes, lemmas: lemmas, d: d, opt: opt,
 		b: b, fe: fe, family: ltl.NewLassoFamily(fe.ev),
 		s: s, cnf: logic.NewCNF(b, s),
 		asmNext:  make([]int, len(assumes)),
+		lemNext:  make([]int, len(lemmas)),
 		conj:     logic.True,
 		freeInit: freeInit,
 	}
@@ -627,6 +630,23 @@ func (ss *safetySession) grow(n int) (*ltl.LassoEval, error) {
 			ss.asmNext[i] = p + 1
 		}
 	}
+	// Assumed lemmas constrain every position the same way stimulus
+	// assumptions do, except abort-aware: the constraint at p is the
+	// negation of the lemma's violation there ("the lemma holds at p,
+	// or its attempt is aborted"). In the induction session this is
+	// exactly the hypothesis strengthening of prove-then-assume: free
+	// initial states outside a proved invariant are discarded, which is
+	// sound because every reachable state satisfies it.
+	for i, lm := range ss.lemmas {
+		for p := ss.lemNext[i]; p+lm.d < ss.frames; p++ {
+			v, err := violation(ss.fe, le, lm.f, lm.abort, p, lm.d, false)
+			if err != nil {
+				return nil, err
+			}
+			ss.addConstraint(v.Not())
+			ss.lemNext[i] = p + 1
+		}
+	}
 	return le, nil
 }
 
@@ -740,11 +760,11 @@ func (ss *safetySession) report(st *formal.Stats, early bool) {
 	st.NodesEncoded(int64(ss.cnf.Encoded()))
 }
 
-func checkSafety(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, opt Options) (Result, error) {
+func checkSafety(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl.Formula, lemmas []assumedLemma, opt Options) (Result, error) {
 	d := ltl.Depth(f)
 	started := time.Now()
-	base := newSafetySession(sys, f, abort, assumes, d, false, opt)
-	step := newSafetySession(sys, f, abort, assumes, d, true, opt)
+	base := newSafetySession(sys, f, abort, assumes, lemmas, d, false, opt)
+	step := newSafetySession(sys, f, abort, assumes, lemmas, d, true, opt)
 	finish := func(res Result, early bool) Result {
 		base.report(opt.Stats, early)
 		step.report(opt.Stats, early)

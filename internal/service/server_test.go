@@ -172,6 +172,46 @@ func TestServiceEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServiceNewSpecs runs the AGR table and the refinement figure
+// end-to-end through the HTTP surface: submit, poll to completion,
+// and check each renders its artifact (and that the refinement run
+// reports its feedback-loop traffic in the stats).
+func TestServiceNewSpecs(t *testing.T) {
+	srv := httptest.NewServer(newTestServer(t, Config{}))
+	defer srv.Close()
+
+	submit := func(body string) api.RunView {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub api.SubmitResponse
+		decodeBody(t, resp, &sub)
+		if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+			t.Fatalf("submit: status %d, id %q", resp.StatusCode, sub.ID)
+		}
+		view := pollTerminal(t, srv.URL, sub.ID)
+		if view.Status != api.StateDone || view.Run == nil {
+			t.Fatalf("run did not finish cleanly: %+v", view)
+		}
+		return view
+	}
+
+	agr := submit(`{"task":"agr","params":{"models":["gpt-4o"]},"options":{"limit":4,"samples":2}}`)
+	if out := agr.Run.Report.Render(); !strings.HasPrefix(out, "Table AGR:") || !strings.Contains(out, "Unlock@") {
+		t.Fatalf("AGR report malformed:\n%s", out)
+	}
+
+	ref := submit(`{"task":"refinement","params":{"models":["gpt-4o"],"count":5,"rounds":[0,2]},"options":{"samples":2}}`)
+	if out := ref.Run.Report.Render(); !strings.HasPrefix(out, "Figure R:") || !strings.Contains(out, "round=2") {
+		t.Fatalf("refinement report malformed:\n%s", out)
+	}
+	if ref.Run.Stats.RefineRounds == 0 {
+		t.Fatalf("refinement run reports zero refine rounds: %+v", ref.Run.Stats)
+	}
+}
+
 // TestServiceValidationAndErrors checks the 400/404 surfaces and the
 // unified {"error":{"code","message"}} envelope they speak.
 func TestServiceValidationAndErrors(t *testing.T) {

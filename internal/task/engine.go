@@ -103,6 +103,11 @@ type Stats struct {
 	// runs. Engine-lifetime totals (Engine.CacheStats/FormalStats)
 	// are always exact.
 	Formal formal.Snapshot `json:"formal"`
+	// RefineRounds is this run's CEX-guided refinement retry delta:
+	// how many feedback rounds the run's FeedbackModels performed.
+	// Subject to the same concurrent-run attribution caveat as the
+	// cache and formal deltas.
+	RefineRounds int64 `json:"refine_rounds,omitempty"`
 }
 
 // Run is the result of one task execution: the unified report plus
@@ -181,7 +186,7 @@ func (e *Engine) execute(ctx context.Context, spec *Spec, p Params, eng *engine.
 		}
 	}
 
-	cache0, formal0 := eng.CacheStats(), eng.FormalStats()
+	cache0, formal0, rounds0 := eng.CacheStats(), eng.FormalStats(), eng.RefineRounds()
 	start := time.Now()
 	var groups []GridGroup
 	if spec.run != nil {
@@ -199,7 +204,8 @@ func (e *Engine) execute(ctx context.Context, spec *Spec, p Params, eng *engine.
 			Hits:   cache1.Hits - cache0.Hits,
 			Misses: cache1.Misses - cache0.Misses,
 		},
-		Formal: formal1.Sub(formal0),
+		Formal:       formal1.Sub(formal0),
+		RefineRounds: eng.RefineRounds() - rounds0,
 	}, nil
 }
 

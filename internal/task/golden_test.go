@@ -49,6 +49,16 @@ func goldenCases() []goldenCase {
 		{"table6_dataset_stats.json", Request{
 			Task: "dataset-stats",
 		}},
+		{"table_agr.json", Request{
+			Task:    "agr",
+			Params:  Params{Models: []string{"gpt-4o"}},
+			Options: engine.Config{Limit: 6, Samples: 4, Workers: 1},
+		}},
+		{"figure_r_refinement.json", Request{
+			Task:    "refinement",
+			Params:  Params{Models: []string{"gpt-4o"}, Count: 5, Rounds: []int{0, 2}},
+			Options: engine.Config{Samples: 2, Workers: 1},
+		}},
 	}
 }
 

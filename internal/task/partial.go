@@ -179,6 +179,7 @@ func MergeStats(partials []*Partial) Stats {
 			Misses: s.Cache.Misses + p.Stats.Cache.Misses,
 		}
 		s.Formal = s.Formal.Add(p.Stats.Formal)
+		s.RefineRounds += p.Stats.RefineRounds
 	}
 	return s
 }

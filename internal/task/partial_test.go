@@ -47,6 +47,16 @@ func mergeCases() []mergeCase {
 			Options: engine.Config{Limit: 2, Samples: 2, Workers: 2},
 		}},
 		{"table6", Request{Task: "dataset-stats"}},
+		{"table_agr", Request{
+			Task:    "agr",
+			Params:  Params{Models: []string{"gpt-4o"}},
+			Options: engine.Config{Limit: 5, Samples: 2, Workers: 2},
+		}},
+		{"figure_r", Request{
+			Task:    "refinement",
+			Params:  Params{Models: []string{"gpt-4o"}, Count: 6, Rounds: []int{0, 1}},
+			Options: engine.Config{Samples: 2, Workers: 2},
+		}},
 		{"figure6", Request{
 			Task:    "bleu-correlation",
 			Params:  Params{Models: []string{"gpt-4o"}},

@@ -246,6 +246,82 @@ func (r *Report) renderGeneric(title string) string {
 	return b.String()
 }
 
+// renderTableAGR lays out the AGR helper-generation table: one row
+// per model, pass@k columns for all three judgment tiers. Syntax =
+// the helper set parses and elaborates, Valid = every helper in the
+// set is itself proved, Unlock = the stuck target is proved with the
+// helpers assumed (the task's headline metric).
+func renderTableAGR(p Params, groups []Group) (string, error) {
+	var b strings.Builder
+	b.WriteString("Table AGR: assertion-guided helper generation, pass@k (sampled decoding)\n")
+	b.WriteString("Syntax = helper set compiles; Valid = every helper proved; Unlock = target proved under the helpers\n")
+	var rows []Row
+	if len(groups) > 0 {
+		rows = groups[0].Rows
+	}
+	ks := p.Ks
+	if len(ks) == 0 {
+		ks = sortedKs(rows)
+	}
+	fmt.Fprintf(&b, "%-18s", "Model")
+	for _, label := range []string{"Syn.", "Valid", "Unlock"} {
+		for _, k := range ks {
+			fmt.Fprintf(&b, " %9s", fmt.Sprintf("%s@%d", label, k))
+		}
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-18s", row.Model)
+		for _, m := range []map[int]float64{row.SyntaxK, row.PartialK, row.FuncK} {
+			for _, k := range ks {
+				fmt.Fprintf(&b, " %9.3f", m[k])
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// renderFigureR lays out the CEX-guided refinement figure: functional
+// pass@k per model and cut-off, one column per refinement retry
+// budget ("round=N" groups), so the refinement gain reads across each
+// row.
+func renderFigureR(p Params, groups []Group) (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure R: NL2SVA-Machine pass@k vs CEX-guided refinement rounds (3-shot)\n")
+	b.WriteString("Each column is a retry budget; failing candidates retry with the formal counterexample in the prompt\n")
+	var rows []Row
+	if len(groups) > 0 {
+		rows = groups[0].Rows
+	}
+	ks := p.Ks
+	if len(ks) == 0 {
+		ks = sortedKs(rows)
+	}
+	fmt.Fprintf(&b, "%-18s %4s", "Model", "k")
+	for _, g := range groups {
+		fmt.Fprintf(&b, " %9s", g.Name)
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		for _, k := range ks {
+			fmt.Fprintf(&b, "%-18s %4d", row.Model, k)
+			for _, g := range groups {
+				v := 0.0
+				for _, gr := range g.Rows {
+					if gr.Model == row.Model {
+						v = gr.FuncK[k]
+						break
+					}
+				}
+				fmt.Fprintf(&b, " %9.3f", v)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}
+
 func sortedKs(rows []Row) []int {
 	seen := map[int]bool{}
 	var ks []int

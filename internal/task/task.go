@@ -58,6 +58,9 @@ type Params struct {
 	Count int `json:"count,omitempty"`
 	// Kinds lists the design categories (KindDesign).
 	Kinds []string `json:"kinds,omitempty"`
+	// Rounds lists the CEX-guided refinement retry budgets (the
+	// refinement task runs one grid per budget; 0 = no refinement).
+	Rounds []int `json:"rounds,omitempty"`
 }
 
 // merge overlays the non-zero fields of over onto p.
@@ -76,6 +79,9 @@ func (p Params) merge(over Params) Params {
 	}
 	if len(over.Kinds) > 0 {
 		p.Kinds = over.Kinds
+	}
+	if len(over.Rounds) > 0 {
+		p.Rounds = over.Rounds
 	}
 	return p
 }
@@ -115,7 +121,7 @@ type Spec struct {
 	Figure int  `json:"figure,omitempty"`
 	Kind   Kind `json:"kind"`
 	// Accepts lists the Params fields a Request may override
-	// ("models", "shots", "ks", "count", "kinds").
+	// ("models", "shots", "ks", "count", "kinds", "rounds").
 	Accepts []string `json:"accepts,omitempty"`
 	// Defaults are the paper's parameters for this task.
 	Defaults Params `json:"defaults"`
@@ -146,6 +152,11 @@ var designKinds = map[string]bool{"pipeline": true, "fsm": true}
 // ask for; the paper uses 300.
 const maxMachineCount = 10000
 
+// maxRefineRounds bounds a refinement retry budget; past a handful of
+// rounds the feedback loop has long converged and each extra round
+// only multiplies evaluation cost.
+const maxRefineRounds = 8
+
 // resolve merges an override onto the spec defaults and validates the
 // result against the spec: overriding a parameter the task does not
 // take is an error (not silently ignored), as is any out-of-range or
@@ -157,6 +168,7 @@ func (s *Spec) resolve(over Params) (Params, error) {
 		"ks":     len(over.Ks) > 0,
 		"count":  over.Count != 0,
 		"kinds":  len(over.Kinds) > 0,
+		"rounds": len(over.Rounds) > 0,
 	} {
 		if set && !s.accepts(field) {
 			return Params{}, fmt.Errorf("parameter %q not accepted (accepts: %s)",
@@ -188,6 +200,11 @@ func (s *Spec) resolve(over Params) (Params, error) {
 	for _, k := range p.Kinds {
 		if !designKinds[k] {
 			return Params{}, fmt.Errorf("unknown design kind %q (want pipeline or fsm)", k)
+		}
+	}
+	for _, r := range p.Rounds {
+		if r < 0 || r > maxRefineRounds {
+			return Params{}, fmt.Errorf("refinement rounds %d out of range 0..%d", r, maxRefineRounds)
 		}
 	}
 	return p, nil
@@ -252,6 +269,7 @@ func (p Params) clone() Params {
 	p.Shots = append([]int(nil), p.Shots...)
 	p.Ks = append([]int(nil), p.Ks...)
 	p.Kinds = append([]string(nil), p.Kinds...)
+	p.Rounds = append([]int(nil), p.Rounds...)
 	return p
 }
 
@@ -369,6 +387,37 @@ func buildRegistry() []*Spec {
 				}
 				return groups, nil
 			},
+		},
+		{
+			Name:     "agr",
+			Title:    "AGR, assertion-guided helper generation, pass@k (Table AGR)",
+			Kind:     KindPassK,
+			Accepts:  []string{"models", "ks"},
+			Defaults: Params{Models: passKFleet(), Ks: []int{1, 3, 5}},
+			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]GridGroup, error) {
+				return singleGrid(eng.HelperGrid(ctx, resolveModels(p.Models), obs("")))
+			},
+			text: renderTableAGR,
+		},
+		{
+			Name:     "refinement",
+			Title:    "NL2SVA-Machine with CEX-guided refinement, pass@k per retry budget (Figure R)",
+			Kind:     KindPassK,
+			Accepts:  []string{"models", "ks", "count", "rounds"},
+			Defaults: Params{Models: passKFleet(), Ks: []int{1, 5}, Count: 60, Rounds: []int{0, 1, 2}},
+			run: func(ctx context.Context, eng *engine.Engine, p Params, obs func(string) engine.Observer) ([]GridGroup, error) {
+				var groups []GridGroup
+				for _, r := range p.Rounds {
+					name := fmt.Sprintf("round=%d", r)
+					g, err := eng.RefinementGrid(ctx, resolveModels(p.Models), r, p.Count, obs(name))
+					if err != nil {
+						return nil, err
+					}
+					groups = append(groups, GridGroup{Name: name, Grid: g})
+				}
+				return groups, nil
+			},
+			text: renderFigureR,
 		},
 		{
 			Name:  "dataset-stats",

@@ -107,6 +107,13 @@ echo "cluster-smoke: server-side distributed run over the registered fleet"
   2>/dev/null >"$BIN/sdist.out"
 diff "$BIN/single.out" "$BIN/sdist.out"
 
+echo "cluster-smoke: AGR task family distributed across the fleet"
+"$BIN/fveval" -task agr 2>/dev/null >"$BIN/agr-single.out"
+"$BIN/fvevalctl" run -task agr \
+  -workers "http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2" \
+  2>/dev/null >"$BIN/agr-dist.out"
+diff "$BIN/agr-single.out" "$BIN/agr-dist.out"
+
 echo "cluster-smoke: persistent store survives kill -9"
 RID=$("$BIN/fvevalctl" submit -to "$COORD_URL" -task table1 2>/dev/null)
 report_when_done() {
