@@ -16,6 +16,14 @@
 //	fvevalctl report -to http://coord:8080 run-000001           # fetch a finished run's payload
 //	fvevalctl workers -to http://coord:8080                     # live registered fleet
 //	fvevalctl metrics -to http://coord:8080                     # scrape /metrics
+//	fvevalctl submit -to http://coord:8080 -task table1 -trace t.json -follow
+//	fvevalctl trace -to http://coord:8080 -o t.json run-000001  # Perfetto export
+//
+// Tracing: `run -trace file.json` records spans locally and writes
+// Chrome trace-event JSON (load it at https://ui.perfetto.dev).
+// `submit -trace file.json` asks the service to record; with -follow
+// the trace is fetched and converted when the run lands, and either
+// way `fvevalctl trace` can export it later while the run is retained.
 //
 // -task accepts registry names plus tableN / figureN aliases. Worker
 // failures are retried on the remaining fleet (-attempts per shard);
@@ -23,6 +31,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -36,6 +45,7 @@ import (
 
 	"fveval/internal/dist"
 	"fveval/internal/engine"
+	"fveval/internal/obs"
 	"fveval/internal/service/api"
 	"fveval/internal/service/client"
 	"fveval/internal/task"
@@ -60,6 +70,8 @@ func main() {
 		err = workersCmd(os.Args[2:])
 	case "metrics":
 		err = metricsCmd(os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -81,6 +93,7 @@ func usage() {
   fvevalctl report -to <url> <id>    print a finished run's payload
   fvevalctl workers -to <url>        list the registered worker fleet
   fvevalctl metrics -to <url>        scrape the service /metrics
+  fvevalctl trace -to <url> <id>     export a traced run (Chrome trace-event JSON)
 run flags:`)
 	fs := runFlags(&runConfig{})
 	fs.SetOutput(os.Stderr)
@@ -116,6 +129,8 @@ type runConfig struct {
 	timeout  time.Duration
 	jsonOut  bool
 	verbose  bool
+	traceOut string
+	traceCap int
 
 	limit    int
 	count    int
@@ -137,6 +152,8 @@ func runFlags(c *runConfig) *flag.FlagSet {
 	fs.DurationVar(&c.timeout, "shard-timeout", 0, "per-attempt deadline; an expired shard is reassigned (0 = none)")
 	fs.BoolVar(&c.jsonOut, "json", false, "emit the merged run plus fleet metadata as JSON")
 	fs.BoolVar(&c.verbose, "v", false, "stream coordinator progress to stderr")
+	fs.StringVar(&c.traceOut, "trace", "", "record a run trace and write Chrome trace-event JSON here")
+	fs.IntVar(&c.traceCap, "trace-cap", 0, "completed-span ring capacity for -trace (0 = 1M client-side, server default on submit)")
 	fs.IntVar(&c.limit, "limit", 0, "truncate instance lists (0 = full size)")
 	fs.IntVar(&c.count, "count", 0, "NL2SVA-Machine dataset size (0 = task default)")
 	fs.IntVar(&c.samples, "samples", 0, "samples per instance for pass@k runs (0 = paper default)")
@@ -216,8 +233,8 @@ func runCmd(args []string) error {
 		opts.Progress = func(ev dist.Event) {
 			switch ev.Type {
 			case dist.EventJob:
-				fmt.Fprintf(os.Stderr, "fvevalctl: %s shard %s job %d/%d (%s)\n",
-					ev.Worker, ev.Shard, ev.Job.Done, ev.Job.Total, ev.Job.Instance)
+				fmt.Fprintf(os.Stderr, "fvevalctl: %s shard %s job %d/%d (%s) %s %dms\n",
+					ev.Worker, ev.Shard, ev.Job.Done, ev.Job.Total, ev.Job.Instance, ev.Job.Kind, ev.Job.WallMS)
 			case dist.EventShardRetry, dist.EventWorkerDown:
 				fmt.Fprintf(os.Stderr, "fvevalctl: %s %s shard %s: %s\n", ev.Type, ev.Worker, ev.Shard, ev.Err)
 			default:
@@ -230,9 +247,33 @@ func runCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := coord.Run(context.Background(), req)
+	ctx := context.Background()
+	var rec *obs.Recorder
+	var root *obs.Span
+	if c.traceOut != "" {
+		// A one-shot CLI coordinator has no reason to keep the service's
+		// tight ring default: heavy tables (deep SAT ramps) emit tens of
+		// thousands of spans, and dropping them would evict the tree's
+		// roots. The cap still exists as a backstop against runaway runs.
+		traceCap := c.traceCap
+		if traceCap == 0 {
+			traceCap = 1 << 20
+		}
+		rec = obs.NewRecorder(traceCap)
+		root = rec.Start("run", 0)
+		root.SetStr("task", req.Task)
+		ctx = obs.ContextWithSpan(obs.NewContext(ctx, rec), root)
+	}
+	res, err := coord.Run(ctx, req)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		root.End()
+		spans, dropped := rec.Snapshot()
+		if err := writeChromeTrace(c.traceOut, spans, dropped); err != nil {
+			return err
+		}
 	}
 	if c.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -335,6 +376,9 @@ func submitCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	if c.traceOut != "" {
+		req.Trace = &obs.TraceContext{Cap: c.traceCap}
+	}
 	cl := newClient(to, apiKey)
 	sub := api.Submission{Request: req, Distributed: distributed, Priority: priority}
 
@@ -344,6 +388,10 @@ func submitCmd(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "fvevalctl: %s %s (position %d, cached %v)\n", resp.ID, resp.Status, resp.Position, resp.Cached)
+		if c.traceOut != "" {
+			fmt.Fprintf(os.Stderr, "fvevalctl: tracing on; export later with: fvevalctl trace -to %s -o %s %s\n",
+				to, c.traceOut, resp.ID)
+		}
 		fmt.Println(resp.ID)
 		return nil
 	}
@@ -351,14 +399,87 @@ func submitCmd(args []string) error {
 	var progress func(task.Event)
 	if c.verbose {
 		progress = func(ev task.Event) {
-			fmt.Fprintf(os.Stderr, "fvevalctl: job %d/%d (%s)\n", ev.Done, ev.Total, ev.Instance)
+			fmt.Fprintf(os.Stderr, "fvevalctl: job %d/%d (%s) %s %dms\n", ev.Done, ev.Total, ev.Instance, ev.Kind, ev.WallMS)
 		}
 	}
 	view, err := cl.Run(context.Background(), sub, progress)
 	if err != nil {
 		return err
 	}
+	if c.traceOut != "" {
+		spans, dropped, err := cl.Trace(context.Background(), view.ID)
+		if err != nil {
+			return fmt.Errorf("fetch trace for %s: %w", view.ID, err)
+		}
+		if err := writeChromeTrace(c.traceOut, spans, dropped); err != nil {
+			return err
+		}
+	}
 	return printRunView(view, c.jsonOut)
+}
+
+// traceCmd exports a traced run: fetch the span dump from the service
+// and write it as Chrome trace-event JSON (Perfetto-loadable), or as
+// the raw span NDJSON with -raw.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	to := fs.String("to", "", "fvevald base URL (required)")
+	apiKey := fs.String("api-key", "", "X-API-Key admission identity")
+	out := fs.String("o", "", "output file (default stdout)")
+	raw := fs.Bool("raw", false, "emit the raw span NDJSON instead of Chrome trace-event JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("missing -to <url>")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fvevalctl trace -to <url> [-o file.json] <run-id>")
+	}
+	spans, dropped, err := newClient(*to, *apiKey).Trace(context.Background(), fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if *raw {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for i := range spans {
+			if err := enc.Encode(&spans[i]); err != nil {
+				return err
+			}
+		}
+		data = buf.Bytes()
+	} else {
+		if data, err = obs.ChromeTrace(spans); err != nil {
+			return err
+		}
+		data = append(data, '\n')
+	}
+	if *out == "" || *out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fvevalctl: %s: %d spans (%d dropped) -> %s\n", fs.Arg(0), len(spans), dropped, *out)
+	return nil
+}
+
+// writeChromeTrace converts completed spans to Chrome trace-event
+// JSON and writes the Perfetto-loadable file.
+func writeChromeTrace(path string, spans []obs.SpanData, dropped int64) error {
+	data, err := obs.ChromeTrace(spans)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fvevalctl: trace: %d spans (%d dropped) -> %s\n", len(spans), dropped, path)
+	return nil
 }
 
 // reportCmd fetches one run and prints its persisted payload — the

@@ -13,6 +13,7 @@
 //	GET    /v1/runs?limit=&cursor=&state=&task=  paged run listing
 //	GET    /v1/runs/{id}                poll; terminal states carry the Run/Partial
 //	GET    /v1/runs/{id}/events         stream progress (NDJSON; SSE on Accept)
+//	GET    /v1/runs/{id}/trace          span dump of a traced run (NDJSON)
 //	DELETE /v1/runs/{id}                cancel
 //	POST   /v1/workers/register         join the worker fleet
 //	POST   /v1/workers/{id}/heartbeat   keep a worker lease alive
@@ -20,6 +21,7 @@
 //	GET    /v1/workers                  live fleet
 //	GET    /metrics                     Prometheus text exposition
 //	GET    /healthz, /readyz            liveness / readiness
+//	GET    /debug/pprof/...             Go profiling (only with -pprof)
 //
 // With -data-dir the run store is persistent: terminal runs survive
 // restarts byte-for-byte, queued runs are re-admitted, and runs that
@@ -79,6 +81,7 @@ func main() {
 	retainAge := flag.Duration("retain-age", 0, "evict terminal runs older than this (0 = no age bound)")
 	workerTTL := flag.Duration("worker-ttl", 0, "worker liveness window (0 = 15s)")
 	resultCache := flag.Int("result-cache", 0, "cross-request result cache entries (0 = 256)")
+	pprofFlag := flag.Bool("pprof", false, "mount Go profiling handlers under /debug/pprof/")
 	join := flag.String("join", "", "coordinator base URL to register with as a worker")
 	advertise := flag.String("advertise", "", "base URL to advertise when joining (default derived from -addr)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for flushing streams and closing connections")
@@ -104,6 +107,7 @@ func main() {
 		WorkerTTL:       *workerTTL,
 		ResultCacheSize: *resultCache,
 		LogWriter:       os.Stderr,
+		Pprof:           *pprofFlag,
 	})
 	if err != nil {
 		log.Fatalf("fvevald: %v", err)

@@ -22,6 +22,7 @@ import (
 	"fveval/internal/llm"
 	"fveval/internal/mc"
 	"fveval/internal/metrics"
+	"fveval/internal/obs"
 	"fveval/internal/rtl"
 	"fveval/internal/sva"
 )
@@ -270,14 +271,20 @@ func parseCandidate(code string) (*sva.Assertion, error) {
 func JudgeTranslation(id, response string, ref *sva.Assertion, sigs *equiv.Sigs, opt equiv.Options, cache *equiv.Cache) Outcome {
 	code := llm.ExtractCode(response)
 	out := Outcome{InstanceID: id, Response: code}
+	bsp := opt.Span.Child("bleu").SetPhase(obs.PhaseBLEU)
 	out.BLEU = metrics.BLEURef(code, refTokens(ref))
+	bsp.End()
+	psp := opt.Span.Child("parse").SetPhase(obs.PhaseParse)
 	cand, err := parseCandidate(code)
 	if err != nil {
+		psp.SetBool("ok", false).End()
 		return out
 	}
 	if err := sva.Validate(cand); err != nil {
+		psp.SetBool("ok", false).End()
 		return out
 	}
+	psp.SetBool("ok", true).End()
 	res, err := cache.Check(cand, ref, sigs, opt)
 	if err != nil {
 		// elaboration failure (undeclared signals etc.) counts against
@@ -329,25 +336,31 @@ func parseDesignBench(design, bench string) (*rtl.File, error) {
 }
 
 func JudgeDesign(inst *rtlgen.Instance, snippet string, opt mc.Options) (syntaxOK, proven bool) {
+	psp := opt.Span.Child("parse").SetPhase(obs.PhaseParse)
 	merged := insertBeforeEndmodule(inst.Bench, snippet)
 	f, err := parseDesignBench(inst.Design, merged)
 	if err != nil {
+		psp.SetBool("ok", false).End()
 		return false, false
 	}
 	sys, err := rtl.ElaborateBound(f, inst.DUTTop, inst.BenchTop, nil)
 	if err != nil {
+		psp.SetBool("ok", false).End()
 		return false, false
 	}
 	if len(sys.Asserts) == 0 {
+		psp.SetBool("ok", false).End()
 		return false, false
 	}
 	// Validate every assertion's signals resolve (elaboration of the
 	// assertion itself happens inside the checker).
 	for _, a := range sys.Asserts {
 		if sva.Validate(a) != nil {
+			psp.SetBool("ok", false).End()
 			return false, false
 		}
 	}
+	psp.SetBool("ok", true).End()
 	syntaxOK = true
 	proven = true
 	for _, a := range sys.Asserts {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"fveval/internal/engine"
+	"fveval/internal/obs"
 	"fveval/internal/task"
 )
 
@@ -191,6 +192,22 @@ func (c *Coordinator) Run(ctx context.Context, req task.Request) (*Result, error
 					mu.Unlock()
 					emit(Event{Type: EventJob, Worker: r.Name(), Shard: shard, Done: d, Total: n, Job: &ev})
 				}
+				// When the coordinator's run is traced, each attempt gets
+				// its own shard span and the worker re-roots its spans
+				// under it via the serialized trace context; the winning
+				// partial's spans are adopted below, so HTTP and loopback
+				// fleets stitch into one tree identically.
+				_, shardSpan := obs.Start(runCtx, "shard")
+				shardSpan.SetStr("worker", r.Name()).
+					SetInt("shard", int64(it.shard)).
+					SetInt("attempt", int64(it.attempt))
+				sub.Trace = nil
+				if shardSpan != nil {
+					sub.Trace = &obs.TraceContext{
+						Parent: shardSpan.ID(),
+						Cap:    obs.FromContext(runCtx).Cap(),
+					}
+				}
 				attemptCtx, cancelAttempt := runCtx, context.CancelFunc(func() {})
 				if c.opts.ShardTimeout > 0 {
 					attemptCtx, cancelAttempt = context.WithTimeout(runCtx, c.opts.ShardTimeout)
@@ -204,14 +221,24 @@ func (c *Coordinator) Run(ctx context.Context, req task.Request) (*Result, error
 				p, err := r.Run(attemptCtx, sub)
 				cancelAttempt()
 				if err == nil && p != nil {
+					shardSpan.SetBool("ok", true)
+					shardSpan.End()
 					consecutive = 0
 					mu.Lock()
+					first := false
 					if partials[it.shard] == nil {
 						partials[it.shard] = p
 						remaining--
+						first = true
 					}
 					rem := remaining
 					mu.Unlock()
+					if first {
+						// Only the winning attempt's spans join the tree;
+						// a duplicate partial (late retry racing the
+						// original) would double-report the same work.
+						obs.FromContext(runCtx).Adopt(p.Trace, shardSpan.ID())
+					}
 					emit(Event{Type: EventShardDone, Worker: r.Name(), Shard: shard, Done: n - rem, Total: n})
 					if rem == 0 {
 						doneOnce.Do(func() { close(done) })
@@ -220,11 +247,15 @@ func (c *Coordinator) Run(ctx context.Context, req task.Request) (*Result, error
 					continue
 				}
 				if runCtx.Err() != nil {
+					shardSpan.SetBool("ok", false)
+					shardSpan.End()
 					return // the run as a whole is over; not this worker's failure
 				}
 				if err == nil {
 					err = fmt.Errorf("runner returned no partial")
 				}
+				shardSpan.SetBool("ok", false).SetStr("err", err.Error())
+				shardSpan.End()
 				consecutive++
 				mu.Lock()
 				if it.attempt >= c.opts.MaxAttempts {

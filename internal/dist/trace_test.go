@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"fveval/internal/engine"
+	"fveval/internal/obs"
+)
+
+// TestCoordinatorTracePropagation runs a traced distributed run over a
+// loopback fleet and checks the tentpole invariants end to end: the
+// report stays byte-identical to an untraced single-engine run, every
+// worker's spans stitch into one tree under the coordinator's root,
+// and the merged per-phase profile is the commutative sum of shard
+// profiles.
+func TestCoordinatorTracePropagation(t *testing.T) {
+	req := smallRequest("nl2sva-human")
+	wantEnc, _ := single(t, req)
+
+	c, err := New(Loopback(3, engine.Config{}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(0)
+	root := rec.Start("run", 0)
+	ctx := obs.ContextWithSpan(obs.NewContext(context.Background(), rec), root)
+	res, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	gotEnc, err := res.Run.Report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotEnc, wantEnc) {
+		t.Fatalf("tracing changed report bytes\n--- traced ---\n%s\n--- single ---\n%s", gotEnc, wantEnc)
+	}
+
+	spans, dropped := rec.Snapshot()
+	if dropped != 0 {
+		t.Fatalf("dropped %d spans under default capacity", dropped)
+	}
+	byID := make(map[uint64]obs.SpanData, len(spans))
+	counts := map[string]int{}
+	roots := 0
+	for _, d := range spans {
+		byID[d.ID] = d
+		counts[d.Name]++
+		if d.Parent == 0 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("stitched tree has %d roots, want 1", roots)
+	}
+	if counts["shard"] != res.Shards {
+		t.Errorf("%d shard spans, want %d", counts["shard"], res.Shards)
+	}
+	if counts["shard-run"] != res.Shards {
+		t.Errorf("%d adopted worker roots, want %d", counts["shard-run"], res.Shards)
+	}
+	if counts["job"] != res.Run.Stats.Jobs {
+		t.Errorf("%d job spans, want one per job (%d)", counts["job"], res.Run.Stats.Jobs)
+	}
+	// Every span must reach the root through resolvable parents — the
+	// adoption remap may not leave dangling edges or cycles.
+	for _, d := range spans {
+		seen := 0
+		for p := d.Parent; p != 0; p = byID[p].Parent {
+			if _, ok := byID[p]; !ok {
+				t.Fatalf("span %d %q has unresolvable ancestor %d", d.ID, d.Name, p)
+			}
+			if seen++; seen > len(spans) {
+				t.Fatalf("parent cycle reached from span %d %q", d.ID, d.Name)
+			}
+		}
+	}
+	for _, d := range spans {
+		if d.Name == "shard-run" && byID[d.Parent].Name != "shard" {
+			t.Errorf("worker root %d re-rooted under %q, want a shard span", d.ID, byID[d.Parent].Name)
+		}
+	}
+
+	// The merged rollup sums worker-side leaf phases; an NL2SVA run
+	// must have prompted and parsed at least once per job.
+	prof := res.Run.Stats.Profile
+	if prof.Prompt.Count == 0 || prof.Parse.Count == 0 {
+		t.Errorf("merged profile missing worker phases: %+v", prof)
+	}
+
+	// And with tracing off, the profile stays zero so run JSON is
+	// unchanged for untraced callers.
+	res2, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Run.Stats.Profile != (obs.Profile{}) {
+		t.Errorf("untraced run grew a profile: %+v", res2.Run.Stats.Profile)
+	}
+}

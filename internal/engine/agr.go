@@ -6,6 +6,7 @@ import (
 	"fveval/internal/core"
 	"fveval/internal/helpergen"
 	"fveval/internal/llm"
+	"fveval/internal/obs"
 )
 
 // ---- AGR (assertion-guided helper generation) ---------------------------
@@ -26,11 +27,11 @@ func (e *Engine) HelperGrid(ctx context.Context, models []llm.Model, obs Observe
 	for i, inst := range kept {
 		prompts[i] = llm.BuildHelperPrompt(inst)
 	}
-	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
+	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(jctx context.Context, j job) core.Outcome {
 		inst := kept[j.inst]
-		resp := models[j.model].Generate(prompts[j.inst], j.sample)
+		resp := generate(jctx, models[j.model], prompts[j.inst], j.sample)
 		code := llm.ExtractCode(resp)
-		c := e.judgeHelperMemo(inst, code)
+		c := e.judgeHelperMemo(jctx, inst, code)
 		return core.Outcome{InstanceID: inst.ID, Response: code, Syntax: c.syntax, Partial: c.valid, Full: c.unlocked}
 	}, obs)
 	if err != nil {
@@ -42,10 +43,10 @@ func (e *Engine) HelperGrid(ctx context.Context, models []llm.Model, obs Observe
 // judgeHelperMemo memoizes core.JudgeHelper per (instance, snippet).
 // Duplicate computation under contention is possible but harmless:
 // the judgment is deterministic.
-func (e *Engine) judgeHelperMemo(inst *helpergen.Instance, code string) helperCell {
+func (e *Engine) judgeHelperMemo(ctx context.Context, inst *helpergen.Instance, code string) helperCell {
 	st := e.st
 	if st.helperMemo == nil {
-		syn, valid, unlocked := core.JudgeHelper(inst, code, e.mcOptions())
+		syn, valid, unlocked := core.JudgeHelper(inst, code, e.mcOptions(ctx))
 		return helperCell{syntax: syn, valid: valid, unlocked: unlocked}
 	}
 	key := inst.ID + "\x00" + code
@@ -53,9 +54,10 @@ func (e *Engine) judgeHelperMemo(inst *helpergen.Instance, code string) helperCe
 	c, ok := st.helperMemo[key]
 	st.helperMu.Unlock()
 	if ok {
+		obs.SpanFrom(ctx).SetBool("memo_hit", true)
 		return c
 	}
-	syn, valid, unlocked := core.JudgeHelper(inst, code, e.mcOptions())
+	syn, valid, unlocked := core.JudgeHelper(inst, code, e.mcOptions(ctx))
 	c = helperCell{syntax: syn, valid: valid, unlocked: unlocked}
 	st.helperMu.Lock()
 	st.helperMemo[key] = c
@@ -86,7 +88,7 @@ func (e *Engine) RefinementGrid(ctx context.Context, models []llm.Model, rounds,
 		if in == nil {
 			return nil
 		}
-		return core.RefineFeedback(resp, in.Reference, in.Sigs, e.st.cache, e.equivOptions())
+		return core.RefineFeedback(resp, in.Reference, in.Sigs, e.st.cache, e.equivOptions(context.Background()))
 	}
 	maxRetries := rounds
 	if rounds <= 0 {
@@ -105,10 +107,10 @@ func (e *Engine) RefinementGrid(ctx context.Context, models []llm.Model, rounds,
 	for i, in := range kept {
 		prompts[i] = llm.BuildMachinePrompt(in.ID, in.NL, 3, in.Reference)
 	}
-	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
+	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(jctx context.Context, j job) core.Outcome {
 		in := kept[j.inst]
-		resp := wrapped[j.model].Generate(prompts[j.inst], j.sample)
-		return e.judgeTranslation(datasetMachine, in.ID, resp, in.Reference, in.Sigs)
+		resp := generate(jctx, wrapped[j.model], prompts[j.inst], j.sample)
+		return e.judgeTranslation(jctx, datasetMachine, in.ID, resp, in.Reference, in.Sigs)
 	}, obs)
 	if err != nil {
 		return nil, err

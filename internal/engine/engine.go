@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fveval/internal/core"
 	"fveval/internal/equiv"
@@ -37,6 +38,7 @@ import (
 	"fveval/internal/gen/rtlgen"
 	"fveval/internal/llm"
 	"fveval/internal/mc"
+	"fveval/internal/obs"
 	"fveval/internal/sva"
 )
 
@@ -161,6 +163,9 @@ type Progress struct {
 	Sample     int
 	// Outcome is the job's judged result.
 	Outcome core.Outcome
+	// Wall is the job's evaluation wall-clock (generation + judgment),
+	// measured at the worker.
+	Wall time.Duration
 }
 
 // Observer receives per-job progress. Calls come from the run's
@@ -271,8 +276,8 @@ func (e *Engine) Reconfigure(cfg Config) (*Engine, error) {
 // count — so entries are shared across samples, models, and shot
 // settings. Judgments are deterministic, so racing duplicate
 // computation is harmless.
-func (e *Engine) judgeTranslation(dataset, id, response string, ref *sva.Assertion, sigs *equiv.Sigs) core.Outcome {
-	opt := e.equivOptions()
+func (e *Engine) judgeTranslation(ctx context.Context, dataset, id, response string, ref *sva.Assertion, sigs *equiv.Sigs) core.Outcome {
+	opt := e.equivOptions(ctx)
 	st := e.st
 	if st.transMemo == nil {
 		return core.JudgeTranslation(id, response, ref, sigs, opt, st.cache)
@@ -283,6 +288,7 @@ func (e *Engine) judgeTranslation(dataset, id, response string, ref *sva.Asserti
 	o, ok := st.transMemo[key]
 	st.transMu.Unlock()
 	if ok {
+		obs.SpanFrom(ctx).SetBool("memo_hit", true)
 		return o
 	}
 	// ExtractCode is idempotent, so the pre-extracted code stands in
@@ -319,26 +325,30 @@ func (e *Engine) simBank() *formal.Bank {
 	return e.st.bank
 }
 
-// equivOptions resolves the equivalence-checker options for this run.
-func (e *Engine) equivOptions() equiv.Options {
+// equivOptions resolves the equivalence-checker options for this run;
+// the context's current span (if the run is traced) rides along so the
+// checker can hang its ramp-step and prefilter spans under the job.
+func (e *Engine) equivOptions(ctx context.Context) equiv.Options {
 	return equiv.Options{
 		Budget:      e.cfg.Budget,
 		MaxBound:    e.cfg.MaxBound,
 		SimPatterns: e.cfg.SimPatterns,
 		Bank:        e.simBank(),
 		Stats:       e.st.formal,
+		Span:        obs.SpanFrom(ctx),
 	}
 }
 
 // mcOptions resolves the model-checker options for this run. MaxBound
 // caps the falsification depth; proof depths stay at backend defaults.
-func (e *Engine) mcOptions() mc.Options {
+func (e *Engine) mcOptions(ctx context.Context) mc.Options {
 	return mc.Options{
 		Budget:      e.cfg.Budget,
 		BMCDepth:    e.cfg.MaxBound,
 		SimPatterns: e.cfg.SimPatterns,
 		Bank:        e.simBank(),
 		Stats:       e.st.formal,
+		Span:        obs.SpanFrom(ctx),
 	}
 }
 
@@ -362,7 +372,7 @@ func (j job) slot(samples int) int { return j.inst*samples + j.sample }
 // Cancelling ctx stops feeding the queue and wakes idle workers; the
 // grid returns ctx.Err() once in-flight jobs have drained, and the
 // partial outcome grid is discarded by every caller.
-func (e *Engine) runGrid(ctx context.Context, models []string, nInst, nSamples int, eval func(j job) core.Outcome, obs Observer) ([][]core.Outcome, error) {
+func (e *Engine) runGrid(ctx context.Context, models []string, nInst, nSamples int, eval func(ctx context.Context, j job) core.Outcome, observer Observer) ([][]core.Outcome, error) {
 	nModels := len(models)
 	outcomes := make([][]core.Outcome, nModels)
 	for m := range outcomes {
@@ -375,10 +385,27 @@ func (e *Engine) runGrid(ctx context.Context, models []string, nInst, nSamples i
 
 	jobs := make(chan job, e.cfg.Workers)
 	type result struct {
-		j   job
-		out core.Outcome
+		j    job
+		out  core.Outcome
+		wall time.Duration
 	}
 	results := make(chan result, e.cfg.Workers)
+
+	// evalJob wraps one evaluation in its per-job span (model/sample
+	// known up front, instance and verdict attached after) and times
+	// it; when the run is untraced the span calls are nil no-ops.
+	evalJob := func(j job) result {
+		jctx, sp := obs.Start(ctx, "job")
+		sp.SetStr("model", models[j.model]).SetInt("sample", int64(j.sample))
+		start := time.Now()
+		out := eval(jctx, j)
+		wall := time.Since(start)
+		sp.SetStr("instance", out.InstanceID).
+			SetBool("syntax", out.Syntax).
+			SetBool("func", out.Full)
+		sp.End()
+		return result{j: j, out: out, wall: wall}
+	}
 
 	var workers sync.WaitGroup
 	w := e.cfg.Workers
@@ -398,7 +425,7 @@ func (e *Engine) runGrid(ctx context.Context, models []string, nInst, nSamples i
 						return
 					}
 					select {
-					case results <- result{j: j, out: eval(j)}:
+					case results <- evalJob(j):
 					case <-ctx.Done():
 						return
 					}
@@ -415,13 +442,14 @@ func (e *Engine) runGrid(ctx context.Context, models []string, nInst, nSamples i
 		for r := range results {
 			outcomes[r.j.model][r.j.slot(nSamples)] = r.out
 			done++
-			if obs != nil {
-				obs(Progress{
+			if observer != nil {
+				observer(Progress{
 					Done: done, Total: total,
 					Model:      models[r.j.model],
 					InstanceID: r.out.InstanceID,
 					Sample:     r.j.sample,
 					Outcome:    r.out,
+					Wall:       r.wall,
 				})
 			}
 		}
@@ -447,6 +475,16 @@ feed:
 		return nil, err
 	}
 	return outcomes, nil
+}
+
+// generate runs one model call under a prompt-phase span, so traced
+// runs attribute generation wall-clock separately from judgment.
+func generate(ctx context.Context, m llm.Model, p *llm.Prompt, sample int) string {
+	sp := obs.SpanFrom(ctx).Child("generate")
+	sp.SetPhase(obs.PhasePrompt)
+	resp := m.Generate(p, sample)
+	sp.End()
+	return resp
 }
 
 // names extracts the model-name axis for progress reporting.
@@ -508,10 +546,10 @@ func (e *Engine) HumanGrid(ctx context.Context, models []llm.Model, sampled bool
 	for i, in := range kept {
 		prompts[i] = llm.BuildHumanPrompt(in.ID, in.Testbench.Source, in.NL, in.Reference)
 	}
-	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
+	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(jctx context.Context, j job) core.Outcome {
 		in := kept[j.inst]
-		resp := models[j.model].Generate(prompts[j.inst], j.sample)
-		return e.judgeTranslation(datasetHuman, in.ID, resp, in.Reference, in.Sigs)
+		resp := generate(jctx, models[j.model], prompts[j.inst], j.sample)
+		return e.judgeTranslation(jctx, datasetHuman, in.ID, resp, in.Reference, in.Sigs)
 	}, obs)
 	if err != nil {
 		return nil, err
@@ -552,10 +590,10 @@ func (e *Engine) MachineGrid(ctx context.Context, models []llm.Model, shots, cou
 	for i, in := range kept {
 		prompts[i] = llm.BuildMachinePrompt(in.ID, in.NL, shots, in.Reference)
 	}
-	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
+	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(jctx context.Context, j job) core.Outcome {
 		in := kept[j.inst]
-		resp := models[j.model].Generate(prompts[j.inst], j.sample)
-		return e.judgeTranslation(datasetMachine, in.ID, resp, in.Reference, in.Sigs)
+		resp := generate(jctx, models[j.model], prompts[j.inst], j.sample)
+		return e.judgeTranslation(jctx, datasetMachine, in.ID, resp, in.Reference, in.Sigs)
 	}, obs)
 	if err != nil {
 		return nil, err
@@ -594,11 +632,11 @@ func (e *Engine) DesignGrid(ctx context.Context, models []llm.Model, kind string
 	for i, inst := range kept {
 		prompts[i] = llm.BuildDesignPrompt(inst)
 	}
-	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(j job) core.Outcome {
+	outs, err := e.runGrid(ctx, names(models), len(kept), n, func(jctx context.Context, j job) core.Outcome {
 		inst := kept[j.inst]
-		resp := models[j.model].Generate(prompts[j.inst], j.sample)
+		resp := generate(jctx, models[j.model], prompts[j.inst], j.sample)
 		code := llm.ExtractCode(resp)
-		c := e.judgeDesignMemo(kind, inst, code)
+		c := e.judgeDesignMemo(jctx, kind, inst, code)
 		return core.Outcome{InstanceID: inst.ID, Response: code, Syntax: c.syntax, Full: c.proven}
 	}, obs)
 	if err != nil {
@@ -629,10 +667,10 @@ func (e *Engine) design2SVA(ctx context.Context, models []llm.Model, kind string
 // judgeDesignMemo memoizes core.JudgeDesign per (kind, instance,
 // snippet). Duplicate computation under contention is possible but
 // harmless: the judgment is deterministic.
-func (e *Engine) judgeDesignMemo(kind string, inst *rtlgen.Instance, code string) designCell {
+func (e *Engine) judgeDesignMemo(ctx context.Context, kind string, inst *rtlgen.Instance, code string) designCell {
 	st := e.st
 	if st.designMemo == nil {
-		syn, prov := core.JudgeDesign(inst, code, e.mcOptions())
+		syn, prov := core.JudgeDesign(inst, code, e.mcOptions(ctx))
 		return designCell{syntax: syn, proven: prov}
 	}
 	key := kind + "\x00" + inst.ID + "\x00" + code
@@ -640,9 +678,10 @@ func (e *Engine) judgeDesignMemo(kind string, inst *rtlgen.Instance, code string
 	c, ok := st.designMemo[key]
 	st.designMu.Unlock()
 	if ok {
+		obs.SpanFrom(ctx).SetBool("memo_hit", true)
 		return c
 	}
-	syn, prov := core.JudgeDesign(inst, code, e.mcOptions())
+	syn, prov := core.JudgeDesign(inst, code, e.mcOptions(ctx))
 	c = designCell{syntax: syn, proven: prov}
 	st.designMu.Lock()
 	st.designMemo[key] = c

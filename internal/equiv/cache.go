@@ -86,9 +86,11 @@ func (c *Cache) Check(a, b *sva.Assertion, sigs *Sigs, opt Options) (Result, err
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		opt.Span.SetBool("cache_hit", true)
 		return e.res, e.err
 	}
 	c.misses.Add(1)
+	opt.Span.SetBool("cache_hit", false)
 	res, err := Check(a, b, sigs, opt)
 	c.mu.Lock()
 	c.m[key] = cacheEntry{res, err}

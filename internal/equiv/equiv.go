@@ -19,6 +19,7 @@ import (
 	"fveval/internal/formal"
 	"fveval/internal/logic"
 	"fveval/internal/ltl"
+	"fveval/internal/obs"
 	"fveval/internal/sat"
 	"fveval/internal/sva"
 )
@@ -83,6 +84,11 @@ type Options struct {
 	// Stats, when non-nil, receives solver-reuse and ramp counters.
 	// It never affects verdicts (and is excluded from cache keys).
 	Stats *formal.Stats
+	// Span, when non-nil, is the traced parent span of this check:
+	// every ramp step and prefilter decision records a child span under
+	// it. Like Stats it never affects verdicts and is excluded from
+	// cache keys; a nil Span makes every span call a no-op.
+	Span *obs.Span
 }
 
 // Trace is a decoded counterexample: signal values per position with a
@@ -453,7 +459,12 @@ func findWitnesses(fa, fb ltl.Formula, sigs *Sigs, ks []int, usesPast, unbounded
 			// this exact bound, so the SAT call it preempts could only
 			// have returned the same verdict (DESIGN.md §10).
 			if pf != nil {
-				if lane, hit, fromBank := pf.refute(names, k, total); hit {
+				ssp := opt.Span.Child("sim").SetPhase(obs.PhaseSim).
+					SetInt("bound", int64(k)).SetInt("dir", int64(di))
+				lane, hit, fromBank := pf.refute(names, k, total)
+				ssp.SetBool("refuted", hit).SetBool("bank_hit", fromBank)
+				ssp.End()
+				if hit {
 					dir.trace = decodeTraceLane(pf.sim, lane, env, names, k, perLoop)
 					dir.done = true
 					dir.early = step < len(ks)-1
@@ -462,6 +473,8 @@ func findWitnesses(fa, fb ltl.Formula, sigs *Sigs, ks []int, usesPast, unbounded
 				}
 			}
 
+			rsp := opt.Span.Child("ramp").SetPhase(obs.PhaseSAT).
+				SetInt("bound", int64(k)).SetInt("dir", int64(di))
 			act := b.Input(fmt.Sprintf("ramp_act@%d.%d", k, di))
 			cnf.AssertIf(act, total)
 
@@ -474,8 +487,15 @@ func findWitnesses(fa, fb ltl.Formula, sigs *Sigs, ks []int, usesPast, unbounded
 			dir.solves++
 			dir.conflicts += post.Conflicts - pre.Conflicts
 			if err != nil {
+				rsp.SetStr("verdict", "error").End()
 				return fail(err)
 			}
+			if ok {
+				rsp.SetStr("verdict", "sat")
+			} else {
+				rsp.SetStr("verdict", "unsat")
+			}
+			rsp.End()
 			if ok {
 				dir.trace = decodeTrace(b, env, cnf, model, names, sigs, k, perLoop)
 				dir.done = true

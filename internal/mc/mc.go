@@ -29,6 +29,7 @@ import (
 	"fveval/internal/formal"
 	"fveval/internal/logic"
 	"fveval/internal/ltl"
+	"fveval/internal/obs"
 	"fveval/internal/rtl"
 	"fveval/internal/sat"
 	"fveval/internal/sva"
@@ -92,6 +93,11 @@ type Options struct {
 	// Stats, when non-nil, receives solver-reuse counters from the
 	// incremental sessions. Never affects verdicts.
 	Stats *formal.Stats
+	// Span, when non-nil, is the traced parent span of this check:
+	// every BMC depth, induction step, and prefilter decision records a
+	// child span under it. Like Stats it never affects verdicts; a nil
+	// Span makes every span call a no-op.
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -697,17 +703,25 @@ func (ss *safetySession) checkDepth(k int) (*Cex, error) {
 	// attempt under all path constraints is already the
 	// counterexample — the solver (and, if nothing was solved yet, the
 	// whole Tseitin encoding) is skipped.
-	if lane, hit, fromBank := ss.simRefute(v); hit {
+	ssp := ss.opt.Span.Child("sim").SetPhase(obs.PhaseSim).SetInt("bound", int64(k))
+	lane, hit, fromBank := ss.simRefute(v)
+	ssp.SetBool("refuted", hit).SetBool("bank_hit", fromBank)
+	ssp.End()
+	if hit {
 		ss.opt.Stats.SimRefuted(fromBank, 1)
 		return decodeCexLane(ss.sys, ss.fe, ss.sim, lane, ss.frames, -1), nil
 	}
+	rsp := ss.opt.Span.Child("bmc").SetPhase(obs.PhaseSAT).SetInt("bound", int64(k))
 	ok, model, err := ss.solveGated(fmt.Sprintf("bmc_act@%d", k), v)
 	if err != nil {
+		rsp.SetStr("verdict", "error").End()
 		return nil, err
 	}
 	if !ok {
+		rsp.SetStr("verdict", "unsat").End()
 		return nil, nil
 	}
+	rsp.SetStr("verdict", "sat").End()
 	cex := decodeCex(ss.sys, ss.fe, ss.cnf, model, ss.frames, -1)
 	bankCex(ss.opt.Bank, cex)
 	return cex, nil
@@ -737,14 +751,26 @@ func (ss *safetySession) induct(k int) (bool, error) {
 	// A simulated lane with k good attempts followed by a bad one is a
 	// concrete refutation of the induction step: report "not
 	// inductive" without opening the solver.
-	if _, hit, fromBank := ss.simRefute(v); hit {
+	ssp := ss.opt.Span.Child("sim").SetPhase(obs.PhaseSim).SetInt("bound", int64(k))
+	_, hit, fromBank := ss.simRefute(v)
+	ssp.SetBool("refuted", hit).SetBool("bank_hit", fromBank)
+	ssp.End()
+	if hit {
 		ss.opt.Stats.SimRefuted(fromBank, 1)
 		return false, nil
 	}
+	rsp := ss.opt.Span.Child("induct").SetPhase(obs.PhaseSAT).SetInt("bound", int64(k))
 	ok, model, err := ss.solveGated(fmt.Sprintf("ind_act@%d", k), v)
 	if err != nil {
+		rsp.SetStr("verdict", "error").End()
 		return false, err
 	}
+	if ok {
+		rsp.SetStr("verdict", "sat")
+	} else {
+		rsp.SetStr("verdict", "unsat")
+	}
+	rsp.End()
 	if ok && ss.opt.Bank != nil {
 		// Fold the refuting model (free initial state + stimulus) into
 		// the bank: it seeds the prefilter for later depths and runs.
@@ -883,7 +909,16 @@ func checkLiveness(sys *rtl.System, f ltl.Formula, abort sva.Expr, assumes []ltl
 	}
 	cnf := logic.NewCNF(b, s)
 	cnf.Assert(total)
+	rsp := opt.Span.Child("lasso").SetPhase(obs.PhaseSAT).SetInt("bound", int64(k))
 	ok, model, err := s.SolveModel()
+	if err != nil {
+		rsp.SetStr("verdict", "error")
+	} else if ok {
+		rsp.SetStr("verdict", "sat")
+	} else {
+		rsp.SetStr("verdict", "unsat")
+	}
+	rsp.End()
 	opt.Stats.Query(1, s.Stats().Conflicts, 0, false)
 	opt.Stats.SolveWall(time.Since(started).Nanoseconds())
 	if err != nil {

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event, ts and
+// dur in microseconds) — the JSON shape Perfetto and chrome://tracing
+// load directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders completed spans as Chrome trace-event JSON.
+// Timestamps are rebased to the earliest span so the timeline starts
+// at zero. Lane ("tid") assignment is deterministic and greedy: spans
+// are laid out in start order, each taking the first lane that is free
+// at its start time, so a parent's children stack beneath it like a
+// flame graph. Output bytes are a pure function of the input spans,
+// which is what the golden fixture pins.
+func ChromeTrace(spans []SpanData) ([]byte, error) {
+	sorted := append([]SpanData(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	base := int64(0)
+	if len(sorted) > 0 {
+		base = sorted[0].Start
+	}
+	var laneEnd []int64 // per-lane last occupied end time
+	events := make([]chromeEvent, 0, len(sorted))
+	for _, d := range sorted {
+		lane := -1
+		for i, end := range laneEnd {
+			if end <= d.Start {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = d.Start + d.Dur
+		args := map[string]any{"id": d.ID}
+		if d.Parent != 0 {
+			args["parent"] = d.Parent
+		}
+		if d.Phase != "" {
+			args["phase"] = string(d.Phase)
+		}
+		for _, a := range d.Attrs {
+			args[a.Key] = a.Value()
+		}
+		events = append(events, chromeEvent{
+			Name: d.Name, Ph: "X",
+			Ts:  float64(d.Start-base) / 1e3,
+			Dur: float64(d.Dur) / 1e3,
+			Pid: 1, Tid: lane + 1,
+			Args: args,
+		})
+	}
+	return json.MarshalIndent(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", "  ")
+}

@@ -1,0 +1,341 @@
+// Package obs is the run-tracing subsystem: hierarchical spans with
+// typed attributes, recorded into a per-run bounded ring, with
+// cross-process stitching for distributed runs and a commutative
+// per-phase wall-clock profile that merges across shards exactly like
+// the formal-backend snapshot.
+//
+// Tracing is off by default. A run opts in by placing a *Recorder in
+// its context (NewContext); every instrumentation site first asks the
+// context for the recorder (or a parent span) and gets nil when
+// tracing is off, so the hot path pays one pointer test. All Span
+// methods are nil-safe no-ops, which keeps call sites branch-free:
+//
+//	ctx, sp := obs.Start(ctx, "job")
+//	sp.SetStr("model", m).SetInt("sample", int64(s))
+//	defer sp.End()
+//
+// The package is intentionally zero-dependency (stdlib only) and does
+// not know about HTTP, JSON wire formats beyond its own span shape, or
+// any fveval layer above it.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase buckets a span's duration for the per-run wall-clock rollup.
+// Only leaf work is phased — parents deliberately carry no phase so a
+// phase total never double-counts nested spans.
+type Phase string
+
+const (
+	PhaseQueue  Phase = "queue"  // admission-queue wait (submit → dequeue)
+	PhasePrompt Phase = "prompt" // model generation
+	PhaseParse  Phase = "parse"  // candidate parse + validate + elaboration
+	PhaseSim    Phase = "sim"    // bit-parallel simulation prefilter
+	PhaseSAT    Phase = "sat"    // SAT session ramp steps / BMC frames
+	PhaseBLEU   Phase = "bleu"   // BLEU scoring
+)
+
+// Attr is one typed span attribute. T discriminates which value field
+// is live ("s", "i", or "b"), so zero values round-trip unambiguously.
+type Attr struct {
+	Key  string `json:"k"`
+	T    string `json:"t"`
+	Str  string `json:"s,omitempty"`
+	Int  int64  `json:"i,omitempty"`
+	Bool bool   `json:"b,omitempty"`
+}
+
+// Value returns the live value as an interface, for display encoders.
+func (a Attr) Value() any {
+	switch a.T {
+	case "i":
+		return a.Int
+	case "b":
+		return a.Bool
+	default:
+		return a.Str
+	}
+}
+
+// SpanData is the completed-span wire shape: what the ring stores,
+// what /v1/runs/{id}/trace streams, and what shard partials ship back
+// to their coordinator. Start is absolute wall-clock (UnixNano), so
+// spans recorded on different machines stitch onto one timeline.
+type SpanData struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"` // 0 = root of its recorder
+	Name   string `json:"name"`
+	Phase  Phase  `json:"phase,omitempty"`
+	Start  int64  `json:"start_ns"`
+	Dur    int64  `json:"dur_ns"`
+	Attrs  []Attr `json:"attrs,omitempty"`
+}
+
+// TraceContext is the wire trace context a coordinator serializes into
+// a shard request. Its presence on a request is what turns tracing on
+// for that shard. Parent names the coordinator-side span the shard's
+// work belongs to; it is informational on the wire — workers record a
+// local root (parent 0) and the coordinator re-roots the adopted spans
+// itself, because a coordinator-space ID embedded in worker spans
+// would collide with the worker's own ID space.
+type TraceContext struct {
+	Parent uint64 `json:"parent,omitempty"`
+	// Cap is the requested completed-span ring capacity (0 means
+	// DefaultCap). A coordinator forwards its own capacity so worker
+	// rings are sized like the tree they feed; heavy runs (deep SAT
+	// ramps) need more than DefaultCap to keep their root structure.
+	Cap int `json:"cap,omitempty"`
+}
+
+// TraceData is a shard's span contribution riding back on its partial:
+// the worker-side completed spans plus that recorder's drop count.
+type TraceData struct {
+	Spans   []SpanData `json:"spans,omitempty"`
+	Dropped int64      `json:"dropped,omitempty"`
+}
+
+// DefaultCap is the default completed-span ring capacity per run.
+const DefaultCap = 4096
+
+// Recorder owns one run's trace: an atomic span-ID allocator, a
+// bounded ring of completed spans (oldest overwritten first, each
+// overwrite counted), and the per-phase profile. All methods are safe
+// for concurrent use and nil-safe, so an untraced run can thread a nil
+// *Recorder everywhere.
+type Recorder struct {
+	nextID atomic.Uint64
+	now    func() time.Time
+
+	mu      sync.Mutex
+	ring    []SpanData
+	head    int // oldest element once the ring has wrapped
+	max     int
+	dropped int64
+	profile Profile
+}
+
+// NewRecorder builds a recorder with the given ring capacity
+// (<= 0 means DefaultCap).
+func NewRecorder(capacity int) *Recorder {
+	return NewRecorderClock(capacity, time.Now)
+}
+
+// NewRecorderClock is NewRecorder with an injectable clock, for
+// deterministic tests and golden fixtures.
+func NewRecorderClock(capacity int, now func() time.Time) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Recorder{now: now, max: capacity}
+}
+
+// Cap returns the ring capacity (0 for a nil recorder), for
+// coordinators forwarding their capacity to shard workers.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return r.max
+}
+
+// Start opens a live span under the given parent ID (0 = root). The
+// span is not visible in snapshots until End.
+func (r *Recorder) Start(name string, parent uint64) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{rec: r, data: SpanData{
+		ID: r.nextID.Add(1), Parent: parent,
+		Name: name, Start: r.now().UnixNano(),
+	}}
+}
+
+// record lands one completed span in the ring.
+func (r *Recorder) record(d SpanData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.profile.bump(d.Phase, d.Dur)
+	r.push(d)
+}
+
+// push appends under r.mu, overwriting the oldest span when full.
+func (r *Recorder) push(d SpanData) {
+	if len(r.ring) < r.max {
+		r.ring = append(r.ring, d)
+		return
+	}
+	r.ring[r.head] = d
+	r.head = (r.head + 1) % r.max
+	r.dropped++
+}
+
+// Snapshot copies the completed spans in completion order (oldest
+// first) plus the exact count of spans the ring has dropped.
+func (r *Recorder) Snapshot() ([]SpanData, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanData, 0, len(r.ring))
+	out = append(out, r.ring[r.head:]...)
+	out = append(out, r.ring[:r.head]...)
+	return out, r.dropped
+}
+
+// Profile returns the per-phase rollup accumulated so far. Adopted
+// remote spans are excluded by design: a shard's phases travel in its
+// partial's Stats and merge commutatively there, so folding them here
+// too would double-count.
+func (r *Recorder) Profile() Profile {
+	if r == nil {
+		return Profile{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.profile
+}
+
+// Adopt stitches a remote recorder's completed spans into this one:
+// every span gets a fresh local ID, parent links within the batch are
+// remapped, and spans whose parent is outside the batch (the remote
+// roots, or spans orphaned by the remote ring) re-root under parent.
+// The remote drop count folds into the local one.
+func (r *Recorder) Adopt(t *TraceData, parent uint64) {
+	if r == nil || t == nil {
+		return
+	}
+	ids := make(map[uint64]uint64, len(t.Spans))
+	for _, d := range t.Spans {
+		ids[d.ID] = r.nextID.Add(1)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dropped += t.Dropped
+	for _, d := range t.Spans {
+		d.ID = ids[d.ID]
+		if mapped, ok := ids[d.Parent]; ok && d.Parent != 0 {
+			d.Parent = mapped
+		} else {
+			d.Parent = parent
+		}
+		r.push(d)
+	}
+}
+
+// Span is a live (unfinished) span. Spans are owned by the goroutine
+// that started them; all methods are nil-safe so untraced runs pay
+// only the nil test.
+type Span struct {
+	rec   *Recorder
+	ended bool
+	data  SpanData
+}
+
+// ID returns the span's recorder-local ID (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.ID
+}
+
+// Child opens a sub-span on the same recorder.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.Start(name, s.data.ID)
+}
+
+// SetPhase buckets this span's eventual duration into the per-run
+// profile (leaf spans only — see Phase).
+func (s *Span) SetPhase(p Phase) *Span {
+	if s != nil {
+		s.data.Phase = p
+	}
+	return s
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) *Span {
+	if s != nil {
+		s.data.Attrs = append(s.data.Attrs, Attr{Key: key, T: "s", Str: v})
+	}
+	return s
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) *Span {
+	if s != nil {
+		s.data.Attrs = append(s.data.Attrs, Attr{Key: key, T: "i", Int: v})
+	}
+	return s
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) *Span {
+	if s != nil {
+		s.data.Attrs = append(s.data.Attrs, Attr{Key: key, T: "b", Bool: v})
+	}
+	return s
+}
+
+// End completes the span and lands it in the recorder ring. Double
+// End is a no-op, so defer sp.End() composes with early explicit ends.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.data.Dur = s.rec.now().UnixNano() - s.data.Start
+	s.rec.record(s.data)
+}
+
+// ---- context plumbing ---------------------------------------------------
+
+type recKey struct{}
+type spanKey struct{}
+
+// NewContext returns ctx carrying the recorder; instrumentation sites
+// downstream will record into it.
+func NewContext(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recKey{}, r)
+}
+
+// FromContext returns the context's recorder, or nil when the run is
+// untraced — the single pointer test gating every instrumentation site.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recKey{}).(*Recorder)
+	return r
+}
+
+// ContextWithSpan returns ctx with sp as the current span, the parent
+// for subsequent Start calls.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the context's current span (nil when untraced).
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Start opens a span under the context's current span (or as a root)
+// and returns a context carrying it. When the context has no recorder
+// it returns (ctx, nil) after one pointer test — the untraced fast
+// path.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	rec := FromContext(ctx)
+	if rec == nil {
+		return ctx, nil
+	}
+	sp := rec.Start(name, SpanFrom(ctx).ID())
+	return ContextWithSpan(ctx, sp), sp
+}

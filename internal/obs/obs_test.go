@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic clock that starts at startNS and
+// advances stepNS per call.
+func fakeClock(startNS, stepNS int64) func() time.Time {
+	t := startNS - stepNS
+	return func() time.Time {
+		t += stepNS
+		return time.Unix(0, t)
+	}
+}
+
+// TestSpanTreeWellFormed grows a pseudo-random span tree and checks
+// the structural invariants every snapshot must satisfy: unique
+// non-zero IDs, parents that exist (or are roots), non-negative
+// durations, completion-ordered output, and zero drops under capacity.
+func TestSpanTreeWellFormed(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	rec := NewRecorderClock(0, fakeClock(1_000_000_000, 1_000))
+	root := rec.Start("root", 0)
+	live := []*Span{root}
+	total := 1
+	for i := 0; i < 200; i++ {
+		p := live[rnd.Intn(len(live))]
+		c := p.Child(fmt.Sprintf("s%d", i))
+		if rnd.Intn(3) == 0 {
+			c.SetPhase(PhaseSAT)
+		}
+		c.SetInt("i", int64(i))
+		live = append(live, c)
+		total++
+		if rnd.Intn(2) == 0 {
+			k := rnd.Intn(len(live))
+			live[k].End()
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+	for _, s := range live {
+		s.End()
+	}
+	root.End() // double End must be a no-op
+
+	spans, dropped := rec.Snapshot()
+	if dropped != 0 {
+		t.Fatalf("dropped = %d under capacity", dropped)
+	}
+	if len(spans) != total {
+		t.Fatalf("snapshot has %d spans, created %d", len(spans), total)
+	}
+	ids := make(map[uint64]bool, len(spans))
+	for _, d := range spans {
+		if d.ID == 0 {
+			t.Fatalf("span %q has zero id", d.Name)
+		}
+		if ids[d.ID] {
+			t.Fatalf("duplicate span id %d", d.ID)
+		}
+		ids[d.ID] = true
+		if d.Dur < 0 {
+			t.Errorf("span %d %q has negative duration %d", d.ID, d.Name, d.Dur)
+		}
+	}
+	for _, d := range spans {
+		if d.Parent != 0 && !ids[d.Parent] {
+			t.Errorf("span %d has unknown parent %d", d.ID, d.Parent)
+		}
+	}
+	// Completion order: end times never go backwards in the snapshot.
+	prev := int64(0)
+	for _, d := range spans {
+		if end := d.Start + d.Dur; end < prev {
+			t.Errorf("span %d out of completion order (end %d < %d)", d.ID, end, prev)
+		} else {
+			prev = end
+		}
+	}
+}
+
+// TestRingDropAccounting fills a tiny ring past capacity and checks
+// the overwrite-oldest policy and the exact eviction count.
+func TestRingDropAccounting(t *testing.T) {
+	const capacity, n = 4, 10
+	rec := NewRecorderClock(capacity, fakeClock(0, 1_000))
+	for i := 0; i < n; i++ {
+		rec.Start(fmt.Sprintf("s%d", i), 0).End()
+	}
+	spans, dropped := rec.Snapshot()
+	if dropped != n-capacity {
+		t.Fatalf("dropped = %d, want %d", dropped, n-capacity)
+	}
+	if len(spans) != capacity {
+		t.Fatalf("retained %d spans, want %d", len(spans), capacity)
+	}
+	for i, d := range spans {
+		if want := fmt.Sprintf("s%d", i+n-capacity); d.Name != want {
+			t.Errorf("slot %d holds %q, want %q (oldest must go first)", i, d.Name, want)
+		}
+	}
+}
+
+// TestAdoptRemapsAndReroots adopts a remote shard trace and checks ID
+// freshness, in-batch parent remapping, out-of-batch re-rooting, drop
+// folding, and that adopted spans stay out of the local profile.
+func TestAdoptRemapsAndReroots(t *testing.T) {
+	remote := NewRecorderClock(0, fakeClock(0, 1_000))
+	rroot := remote.Start("shard-run", 77) // 77 lives in the coordinator's ID space
+	job := rroot.Child("job")
+	job.SetPhase(PhaseSAT)
+	job.End()
+	orphan := remote.Start("orphan", 12345) // parent evicted from the remote ring
+	orphan.End()
+	rroot.End()
+	remoteSpans, _ := remote.Snapshot()
+
+	local := NewRecorderClock(0, fakeClock(0, 1_000))
+	anchor := local.Start("shard", 0)
+	anchor.End()
+	local.Adopt(&TraceData{Spans: remoteSpans, Dropped: 3}, anchor.ID())
+
+	spans, dropped := local.Snapshot()
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want the remote count 3", dropped)
+	}
+	byName := map[string]SpanData{}
+	ids := map[uint64]bool{}
+	for _, d := range spans {
+		byName[d.Name] = d
+		if ids[d.ID] {
+			t.Fatalf("duplicate id %d after adoption", d.ID)
+		}
+		ids[d.ID] = true
+	}
+	if len(spans) != 4 {
+		t.Fatalf("have %d spans, want anchor + 3 adopted", len(spans))
+	}
+	if got := byName["shard-run"].Parent; got != anchor.ID() {
+		t.Errorf("remote root re-rooted under %d, want anchor %d", got, anchor.ID())
+	}
+	if got := byName["orphan"].Parent; got != anchor.ID() {
+		t.Errorf("orphan re-rooted under %d, want anchor %d", got, anchor.ID())
+	}
+	if got, want := byName["job"].Parent, byName["shard-run"].ID; got != want {
+		t.Errorf("in-batch parent remapped to %d, want %d", got, want)
+	}
+	if p := local.Profile(); p != (Profile{}) {
+		t.Errorf("adopted spans leaked into the local profile: %+v", p)
+	}
+}
+
+// TestProfile checks leaf-phase attribution and commutative merging.
+func TestProfile(t *testing.T) {
+	rec := NewRecorderClock(0, fakeClock(0, 1_000))
+	sim := rec.Start("sim", 0)
+	sim.SetPhase(PhaseSim)
+	sim.End()
+	rec.Start("unphased", 0).End()
+	p := rec.Profile()
+	if p.Sim.Count != 1 || p.Sim.NS != 1_000 {
+		t.Errorf("sim stat = %+v, want one 1000ns sample", p.Sim)
+	}
+	if p.SAT != (PhaseStat{}) || p.Queue != (PhaseStat{}) {
+		t.Errorf("unphased span leaked into a phase: %+v", p)
+	}
+
+	a := Profile{SAT: PhaseStat{NS: 5, Count: 2}, Sim: PhaseStat{NS: 1, Count: 1}}
+	b := Profile{SAT: PhaseStat{NS: 7, Count: 1}, Queue: PhaseStat{NS: 3, Count: 1}}
+	if a.Add(b) != b.Add(a) {
+		t.Errorf("Add is not commutative: %+v vs %+v", a.Add(b), b.Add(a))
+	}
+	if a.Add(Profile{}) != a {
+		t.Errorf("zero is not the Add identity")
+	}
+}
+
+// TestUntracedFastPath pins the off-by-default contract: no recorder
+// in the context means nil spans, and every nil method is a no-op.
+func TestUntracedFastPath(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "x")
+	if sp != nil {
+		t.Fatalf("Start without a recorder returned a live span")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("Start without a recorder rewrapped the context")
+	}
+	sp.SetStr("k", "v").SetInt("i", 1).SetBool("b", true).SetPhase(PhaseSAT)
+	sp.Child("c").End()
+	sp.End()
+	if sp.ID() != 0 {
+		t.Errorf("nil span ID = %d", sp.ID())
+	}
+	var r *Recorder
+	if s, d := r.Snapshot(); s != nil || d != 0 {
+		t.Errorf("nil recorder snapshot = %v, %d", s, d)
+	}
+	if r.Profile() != (Profile{}) {
+		t.Errorf("nil recorder profile non-zero")
+	}
+	r.Adopt(&TraceData{Spans: []SpanData{{ID: 1}}}, 0)
+	if r.Start("x", 0) != nil {
+		t.Errorf("nil recorder started a span")
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Errorf("FromContext on a bare context = %v", got)
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+// PhaseStat is one phase's accumulated wall time and span count.
+type PhaseStat struct {
+	NS    int64 `json:"ns"`
+	Count int64 `json:"count"`
+}
+
+func (a PhaseStat) add(b PhaseStat) PhaseStat {
+	return PhaseStat{NS: a.NS + b.NS, Count: a.Count + b.Count}
+}
+
+// Profile is the per-run wall-clock rollup by phase. Like
+// formal.Snapshot it is a plain value with a field-wise commutative
+// Add, so a sharded run's attribution is the sum of its workers' in
+// any merge order. The zero value marshals away under omitzero, which
+// keeps untraced report JSON byte-identical to pre-tracing output.
+type Profile struct {
+	Queue  PhaseStat `json:"queue,omitzero"`
+	Prompt PhaseStat `json:"prompt,omitzero"`
+	Parse  PhaseStat `json:"parse,omitzero"`
+	Sim    PhaseStat `json:"sim,omitzero"`
+	SAT    PhaseStat `json:"sat,omitzero"`
+	BLEU   PhaseStat `json:"bleu,omitzero"`
+}
+
+// Add returns the field-wise sum; commutative and associative.
+func (p Profile) Add(q Profile) Profile {
+	return Profile{
+		Queue:  p.Queue.add(q.Queue),
+		Prompt: p.Prompt.add(q.Prompt),
+		Parse:  p.Parse.add(q.Parse),
+		Sim:    p.Sim.add(q.Sim),
+		SAT:    p.SAT.add(q.SAT),
+		BLEU:   p.BLEU.add(q.BLEU),
+	}
+}
+
+// bump folds one completed span's duration into its phase bucket.
+func (p *Profile) bump(ph Phase, ns int64) {
+	var s *PhaseStat
+	switch ph {
+	case PhaseQueue:
+		s = &p.Queue
+	case PhasePrompt:
+		s = &p.Prompt
+	case PhaseParse:
+		s = &p.Parse
+	case PhaseSim:
+		s = &p.Sim
+	case PhaseSAT:
+		s = &p.SAT
+	case PhaseBLEU:
+		s = &p.BLEU
+	default:
+		return
+	}
+	s.NS += ns
+	s.Count++
+}

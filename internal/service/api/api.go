@@ -97,6 +97,15 @@ const (
 
 // Submission is the POST /v1/runs body: a registry request plus the
 // service-level execution mode.
+//
+// The embedded Request carries the tracing knob: a non-nil "trace"
+// object turns span recording on for this run. For full runs the
+// server roots the trace itself and serves it at
+// GET /v1/runs/{id}/trace; the object is normally empty ({}). For
+// partial (shard) runs "trace" additionally carries the
+// coordinator's parent span id, and the recorded spans come back on
+// the task.Partial instead of a server endpoint. Traces never change
+// result bytes and are never persisted.
 type Submission struct {
 	task.Request
 

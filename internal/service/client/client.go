@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"fveval/internal/obs"
 	"fveval/internal/service/api"
 	"fveval/internal/task"
 )
@@ -341,6 +342,48 @@ func (c *Client) Workers(ctx context.Context) ([]api.WorkerInfo, error) {
 		return nil, err
 	}
 	return out.Workers, nil
+}
+
+// Trace fetches a traced run's completed spans (the NDJSON stream of
+// GET /v1/runs/{id}/trace) plus the ring-eviction count from the
+// X-Trace-Dropped header. A run submitted without tracing yields a
+// not_found *api.Error.
+func (c *Client) Trace(ctx context.Context, id string) ([]obs.SpanData, int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/runs/"+url.PathEscape(id)+"/trace", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, apiError(resp)
+	}
+	dropped, _ := strconv.ParseInt(resp.Header.Get("X-Trace-Dropped"), 10, 64)
+	var spans []obs.SpanData
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var sp obs.SpanData
+		if err := json.Unmarshal(line, &sp); err != nil {
+			return nil, 0, fmt.Errorf("client: bad trace line %q: %w", line, err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("client: trace stream broke: %w", err)
+	}
+	return spans, dropped, nil
 }
 
 // Metrics scrapes the Prometheus text exposition.

@@ -3,6 +3,8 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime"
+	rm "runtime/metrics"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -31,6 +33,11 @@ type metrics struct {
 	compactions  atomic.Int64
 
 	runWall histogram
+	// queueWait measures submit→dequeue admission latency. It reuses
+	// the solver-wall bucket scheme: queue waits on a healthy service
+	// live in the same sub-second range as solves, and sharing bounds
+	// keeps the exposition's bucket vocabulary small.
+	queueWait histogram
 }
 
 // finished bumps the per-terminal-status run counter.
@@ -42,20 +49,33 @@ func (m *metrics) finished(status string) {
 // runWallBuckets are the run wall-clock histogram bounds in seconds.
 var runWallBuckets = [...]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
 
-// histogram is a fixed-bucket latency histogram; observe is
-// lock-cheap enough for per-run (not per-job) granularity.
+// histogram is a latency histogram over caller-chosen bounds; observe
+// is lock-cheap enough for per-run (not per-job) granularity.
 type histogram struct {
 	mu     sync.Mutex
-	counts [len(runWallBuckets) + 1]int64
+	bounds []float64
+	counts []int64 // len(bounds)+1: one overflow bucket
 	sum    float64
 	n      int64
+}
+
+// init sets the bucket scheme; must run before the first observe.
+func (h *histogram) init(bounds []float64) {
+	h.bounds = bounds
+	h.counts = make([]int64, len(bounds)+1)
+}
+
+// init arms the histograms; called once from service.New.
+func (m *metrics) init() {
+	m.runWall.init(runWallBuckets[:])
+	m.queueWait.init(formal.SolveWallBuckets[:])
 }
 
 func (h *histogram) observe(seconds float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	i := 0
-	for i < len(runWallBuckets) && seconds > runWallBuckets[i] {
+	for i < len(h.bounds) && seconds > h.bounds[i] {
 		i++
 	}
 	h.counts[i]++
@@ -64,10 +84,10 @@ func (h *histogram) observe(seconds float64) {
 }
 
 // snapshot copies the histogram under its lock.
-func (h *histogram) snapshot() (counts [len(runWallBuckets) + 1]int64, sum float64, n int64) {
+func (h *histogram) snapshot() (counts []int64, sum float64, n int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.counts, h.sum, h.n
+	return append([]int64(nil), h.counts...), h.sum, h.n
 }
 
 // family is one metric family ready to emit.
@@ -127,9 +147,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 		counter("fveval_result_cache_misses_total",
 			"Submissions that had to touch the engine.",
 			plain(m.cacheMisses.Load())),
+		histogramFamily("fveval_queue_wait_seconds",
+			"Admission-queue wait (submit to dequeue), per executed run.",
+			&m.queueWait),
 		histogramFamily("fveval_run_wall_seconds",
 			"End-to-end run wall-clock, per executed run.",
-			runWallBuckets[:], &m.runWall),
+			&m.runWall),
 		gauge("fveval_runs_inflight",
 			"Runs currently executing.",
 			plain(int64(inflight))),
@@ -162,6 +185,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 			"Workers currently live in the registry.",
 			plain(int64(workers))),
 	}
+	fams = append(fams, goRuntimeFamilies()...)
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, f := range fams {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
@@ -207,21 +231,23 @@ func gauge(name, help string, lines ...string) family {
 
 func plain(v int64) string { return fmt.Sprintf(" %d", v) }
 
+func plainF(v float64) string { return fmt.Sprintf(" %g", v) }
+
 func sample(label, value string, v int64) string {
 	return fmt.Sprintf("{%s=%q} %d", label, value, v)
 }
 
 // histogramFamily renders a Prometheus histogram: cumulative _bucket
 // samples, _sum, and _count.
-func histogramFamily(name, help string, bounds []float64, h *histogram) family {
+func histogramFamily(name, help string, h *histogram) family {
 	counts, sum, n := h.snapshot()
 	lines := make([]string, 0, len(counts)+2)
 	cum := int64(0)
 	for i, c := range counts {
 		cum += c
 		le := "+Inf"
-		if i < len(bounds) {
-			le = formatBound(bounds[i])
+		if i < len(h.bounds) {
+			le = formatBound(h.bounds[i])
 		}
 		lines = append(lines, fmt.Sprintf("_bucket{le=%q} %d", le, cum))
 	}
@@ -229,6 +255,71 @@ func histogramFamily(name, help string, bounds []float64, h *histogram) family {
 		fmt.Sprintf("_sum %g", sum),
 		fmt.Sprintf("_count %d", n))
 	return family{name: name, help: help, typ: "histogram", lines: lines}
+}
+
+// goRuntimeFamilies samples the Go runtime at scrape time: goroutine
+// count, live heap bytes, cumulative GC pause, and scheduling latency
+// quantiles from runtime/metrics.
+func goRuntimeFamilies() []family {
+	samples := []rm.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/sched/latencies:seconds"},
+	}
+	rm.Read(samples)
+	heap := int64(0)
+	if samples[0].Value.Kind() == rm.KindUint64 {
+		heap = int64(samples[0].Value.Uint64())
+	}
+	var p50, p99 float64
+	if samples[1].Value.Kind() == rm.KindFloat64Histogram {
+		p50 = histQuantile(samples[1].Value.Float64Histogram(), 0.5)
+		p99 = histQuantile(samples[1].Value.Float64Histogram(), 0.99)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []family{
+		counter("fveval_go_gc_pause_seconds_total",
+			"Cumulative GC stop-the-world pause.",
+			plainF(float64(ms.PauseTotalNs)/1e9)),
+		gauge("fveval_go_goroutines",
+			"Live goroutines.",
+			plain(int64(runtime.NumGoroutine()))),
+		gauge("fveval_go_heap_bytes",
+			"Bytes of live heap objects.",
+			plain(heap)),
+		gauge("fveval_go_sched_latency_p50_seconds",
+			"Median goroutine scheduling latency since process start.",
+			plainF(p50)),
+		gauge("fveval_go_sched_latency_p99_seconds",
+			"99th-percentile goroutine scheduling latency since process start.",
+			plainF(p99)),
+	}
+}
+
+// histQuantile reads quantile q out of a runtime/metrics histogram,
+// returning the upper bound of the bucket the quantile falls in (the
+// conservative estimate; +Inf degrades to the last finite bound).
+func histQuantile(h *rm.Float64Histogram, q float64) float64 {
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			hi := h.Buckets[i+1]
+			if hi > 1e300 || hi != hi { // +Inf bucket
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
 }
 
 // solverWallFamily renders the formal backend's per-check wall-clock

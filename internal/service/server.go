@@ -33,15 +33,22 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"fveval/internal/dist"
+	"fveval/internal/obs"
 	"fveval/internal/service/api"
 	"fveval/internal/task"
 )
+
+// maxTraceCap bounds the per-run completed-span ring a client can
+// request via Trace.Cap — the server-side ceiling on how much memory
+// one traced run pins (~256k spans).
+const maxTraceCap = 1 << 18
 
 // Config tunes a Server. Engine is required; every other field has a
 // production default.
@@ -75,6 +82,11 @@ type Config struct {
 	ResultCacheSize int
 	// LogWriter receives structured JSON request logs (nil = off).
 	LogWriter io.Writer
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: profiling endpoints expose process internals and
+	// belong behind the same kind of deliberate flag as the Go runtime's
+	// own defaults.
+	Pprof bool
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -119,11 +131,41 @@ type runState struct {
 	rec    runRecord
 	cancel context.CancelFunc // non-nil while running
 
+	// tracer, rootSp, and queueSp are the run's trace machinery,
+	// armed once (before the state is published) for traced full
+	// runs and immutable afterwards. Traces are deliberately
+	// in-memory only — never journaled — so a recovered run either
+	// re-records (it was still queued) or has no trace (terminal).
+	tracer  *obs.Recorder
+	rootSp  *obs.Span
+	queueSp *obs.Span
+
 	mu     sync.Mutex
 	events []task.Event
 	// notify is closed (and, while live, replaced) whenever events or
 	// status change; it stays closed once the run is terminal.
 	notify chan struct{}
+}
+
+// armTrace attaches the in-memory trace recorder to a traced full
+// run: the root "run" span opens immediately and its "queue" child
+// measures submit→dequeue wait. Partial (shard) runs skip this — the
+// worker records into a fresh recorder inside RunPartial and ships
+// the spans on the Partial for coordinator adoption instead.
+func (rs *runState) armTrace() {
+	if rs.rec.Sub.Trace == nil || rs.rec.Sub.Partial {
+		return
+	}
+	// Clients may ask for a bigger span ring (heavy runs overflow the
+	// default), but the server bounds the per-run memory they can pin.
+	traceCap := rs.rec.Sub.Trace.Cap
+	if traceCap > maxTraceCap {
+		traceCap = maxTraceCap
+	}
+	rs.tracer = obs.NewRecorder(traceCap)
+	rs.rootSp = rs.tracer.Start("run", 0)
+	rs.rootSp.SetStr("task", rs.rec.Sub.Task).SetStr("run_id", rs.rec.ID)
+	rs.queueSp = rs.rootSp.Child("queue").SetPhase(obs.PhaseQueue)
 }
 
 // publish appends one progress event and wakes streamers.
@@ -187,6 +229,7 @@ func New(cfg Config) (*Server, error) {
 		clientLoad: map[string]int{},
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.metrics.init()
 	s.registry = newWorkerRegistry(cfg.WorkerTTL, cfg.Now, func() { s.metrics.workerEvicts.Add(1) })
 
 	if cfg.DataDir != "" {
@@ -200,6 +243,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/workers/register", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleHeartbeat)
@@ -208,6 +252,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.Pprof {
+		// Index serves /debug/pprof/{heap,goroutine,...} via the
+		// trailing-slash route; the named profiles need explicit mounts.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	for i := 0; i < cfg.Concurrency; i++ {
 		s.execWG.Add(1)
@@ -241,7 +294,10 @@ func (s *Server) recover() error {
 		rs := &runState{rec: *rec, notify: make(chan struct{})}
 		switch rec.Status {
 		case api.StateQueued:
-			// Never started: resume it through the normal queue.
+			// Never started: resume it through the normal queue. A
+			// traced run re-records from scratch — the pre-crash queue
+			// wait is gone, like its progress events.
+			rs.armTrace()
 			s.runs[id] = rs
 			s.queuedCount++
 			s.clientLoad[rec.Client]++
@@ -488,8 +544,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Cross-request result cache: identical canonical requests are
 	// served the finished result without touching the engine or the
-	// queue (and without consuming quota).
-	if !sub.Request.Options.NoCache {
+	// queue (and without consuming quota). Traced submissions skip the
+	// lookup — the key is trace-blind (Canonical strips Trace), so a
+	// hit would hand back a result with no spans to serve; they still
+	// feed the cache on finish, since the result itself is
+	// trace-independent.
+	if !sub.Request.Options.NoCache && sub.Request.Trace == nil {
 		if run, partial, ok := s.results.get(key); ok {
 			s.seq++
 			id := fmt.Sprintf("run-%06d", s.seq)
@@ -551,6 +611,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		},
 		notify: make(chan struct{}),
 	}
+	rs.armTrace()
 	s.runs[id] = rs
 	s.queuedCount++
 	s.clientLoad[client]++
@@ -598,12 +659,15 @@ func (s *Server) executor() {
 		rs.rec.StartedMS = s.now().UnixMilli()
 		rs.cancel = cancel
 		startMS := rs.rec.StartedMS
+		waitMS := startMS - rs.rec.CreatedMS
 		rs.mu.Unlock()
 		s.queuedCount--
 		s.inflight++
 		s.runWG.Add(1)
 		s.mu.Unlock()
 
+		rs.queueSp.End()
+		s.metrics.queueWait.observe(float64(waitMS) / 1000)
 		s.journalAppend(&journalRecord{Op: "start", MS: startMS, ID: it.id})
 		s.execute(ctx, cancel, rs)
 	}
@@ -619,6 +683,9 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, rs *run
 	rs.mu.Unlock()
 	req := sub.Request
 	req.Progress = rs.publish
+	if rs.tracer != nil {
+		ctx = obs.ContextWithSpan(obs.NewContext(ctx, rs.tracer), rs.rootSp)
+	}
 
 	started := s.now()
 	var (
@@ -633,6 +700,19 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, rs *run
 		partial, err = s.eng.RunPartial(ctx, req)
 	default:
 		run, err = s.eng.Run(ctx, req)
+	}
+	if rs.tracer != nil {
+		if err != nil {
+			rs.rootSp.SetStr("err", err.Error())
+		}
+		rs.rootSp.End()
+		if run != nil && sub.Distributed {
+			// A distributed run's merged profile is the sum of shard
+			// profiles; the coordinator's own phases (the queue wait)
+			// live in this recorder and fold in here. Local runs pick
+			// them up cumulatively inside task.Engine.execute instead.
+			run.Stats.Profile = run.Stats.Profile.Add(rs.tracer.Profile())
+		}
 	}
 	s.metrics.runWall.observe(s.now().Sub(started).Seconds())
 	s.finish(rs, run, partial, err)
@@ -981,6 +1061,32 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
+	}
+}
+
+// handleTrace serves a traced run's completed spans as NDJSON (one
+// obs.SpanData per line): GET /v1/runs/{id}/trace. The snapshot is
+// safe mid-run — it simply misses spans still open. X-Trace-Dropped
+// carries the ring-eviction count. 404 for runs that were not
+// submitted with tracing (including recovered ones: traces are
+// in-memory only).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rs := s.lookup(w, r)
+	if rs == nil {
+		return
+	}
+	if rs.tracer == nil {
+		writeError(w, http.StatusNotFound, api.CodeNotFound,
+			"run "+r.PathValue("id")+` has no trace (submit with "trace" to record one)`)
+		return
+	}
+	spans, dropped := rs.tracer.Snapshot()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Trace-Dropped", strconv.FormatInt(dropped, 10))
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		enc.Encode(&spans[i]) //nolint:errcheck // client gone is the only failure
 	}
 }
 

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"time"
 
+	"fveval/internal/core"
 	"fveval/internal/engine"
 	"fveval/internal/equiv"
 	"fveval/internal/formal"
+	"fveval/internal/obs"
 )
 
 // Request names one registry task plus overrides: Params are merged
@@ -30,6 +32,14 @@ type Request struct {
 	// evaluation job. Events are delivered from the run's collector
 	// goroutine: calls are serialized and must not block for long.
 	Progress func(Event) `json:"-"`
+	// Trace, when non-nil, turns tracing on for a partial (shard) run:
+	// RunPartial records spans into a fresh recorder and ships them on
+	// the Partial, re-rooted under Trace.Parent (a span ID in the
+	// coordinator's ID space). Trace is execution plumbing like
+	// Progress — Canonical strips it, so it never reaches result-cache
+	// keys or report echoes, which keeps traced and untraced report
+	// bytes identical.
+	Trace *obs.TraceContext `json:"trace,omitempty"`
 }
 
 // Validate checks the request against the registry without running
@@ -83,6 +93,12 @@ type Event struct {
 	// Syntax and Func summarize the job's judgment.
 	Syntax bool `json:"syntax,omitempty"`
 	Func   bool `json:"func,omitempty"`
+	// WallMS is the job's evaluation wall-clock in milliseconds,
+	// measured at the worker — the live signal for spotting slow jobs.
+	WallMS int64 `json:"wall_ms,omitempty"`
+	// Kind classifies the outcome for display: "func" (fully correct),
+	// "syntax" (compiles but not proven equivalent), or "fail".
+	Kind string `json:"kind,omitempty"`
 }
 
 // Stats is the run's execution metadata.
@@ -108,6 +124,11 @@ type Stats struct {
 	// Subject to the same concurrent-run attribution caveat as the
 	// cache and formal deltas.
 	RefineRounds int64 `json:"refine_rounds,omitempty"`
+	// Profile is the per-phase wall-clock rollup of a traced run
+	// (zero — and absent from JSON — when tracing is off, keeping
+	// untraced output byte-identical). Shard profiles sum commutatively
+	// in MergeStats, mirroring the Formal snapshot.
+	Profile obs.Profile `json:"profile,omitzero"`
 }
 
 // Run is the result of one task execution: the unified report plus
@@ -172,7 +193,7 @@ func (e *Engine) execute(ctx context.Context, spec *Spec, p Params, eng *engine.
 	// jobs is only touched from each grid's collector goroutine, and
 	// grids within one run execute sequentially, so no lock is needed.
 	jobs := 0
-	obs := func(group string) engine.Observer {
+	observer := func(group string) engine.Observer {
 		return func(pr engine.Progress) {
 			jobs++
 			if progress != nil {
@@ -181,6 +202,8 @@ func (e *Engine) execute(ctx context.Context, spec *Spec, p Params, eng *engine.
 					Done: pr.Done, Total: pr.Total,
 					Model: pr.Model, Instance: pr.InstanceID, Sample: pr.Sample,
 					Syntax: pr.Outcome.Syntax, Func: pr.Outcome.Full,
+					WallMS: pr.Wall.Milliseconds(),
+					Kind:   outcomeKind(pr.Outcome),
 				})
 			}
 		}
@@ -191,7 +214,7 @@ func (e *Engine) execute(ctx context.Context, spec *Spec, p Params, eng *engine.
 	var groups []GridGroup
 	if spec.run != nil {
 		var err error
-		groups, err = spec.run(ctx, eng, p, obs)
+		groups, err = spec.run(ctx, eng, p, observer)
 		if err != nil {
 			return nil, Stats{}, err
 		}
@@ -206,7 +229,21 @@ func (e *Engine) execute(ctx context.Context, spec *Spec, p Params, eng *engine.
 		},
 		Formal:       formal1.Sub(formal0),
 		RefineRounds: eng.RefineRounds() - rounds0,
+		// The run owns its recorder (one per run), so the cumulative
+		// profile is this run's attribution; zero when untraced.
+		Profile: obs.FromContext(ctx).Profile(),
 	}, nil
+}
+
+// outcomeKind classifies a judged outcome for live display.
+func outcomeKind(o core.Outcome) string {
+	switch {
+	case o.Full:
+		return "func"
+	case o.Syntax:
+		return "syntax"
+	}
+	return "fail"
 }
 
 // Run executes one registry task: the request is validated against

@@ -8,6 +8,7 @@ import (
 
 	"fveval/internal/engine"
 	"fveval/internal/equiv"
+	"fveval/internal/obs"
 )
 
 // Partial is the wire shape of one shard's contribution to a task: the
@@ -33,6 +34,11 @@ type Partial struct {
 	Groups []GridGroup `json:"groups,omitempty"`
 	// Stats is this shard's execution metadata.
 	Stats Stats `json:"stats"`
+	// Trace carries this shard's completed spans when the request asked
+	// for tracing (Request.Trace non-nil); the coordinator adopts them
+	// under its shard span so distributed runs stitch into one tree.
+	// Absent (and absent from JSON) for untraced runs.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 // Encode is the canonical wire encoding (indented JSON), matching the
@@ -64,14 +70,37 @@ func (e *Engine) RunPartial(ctx context.Context, req Request) (*Partial, error) 
 	if err != nil {
 		return nil, err
 	}
+	// A traced shard records into its own fresh recorder — never the
+	// context's (a loopback coordinator's recorder may be there) — so
+	// local and remote runners produce identical Partial wire bytes and
+	// the coordinator stitches both the same way, by adoption.
+	var rec *obs.Recorder
+	var root *obs.Span
+	if req.Trace != nil {
+		rec = obs.NewRecorder(req.Trace.Cap)
+		// The shard root records parent 0 (a recorder-local root); the
+		// coordinator re-roots it under its shard span when it adopts
+		// the partial's spans. Embedding req.Trace.Parent — an ID from
+		// the coordinator's space — would collide with this recorder's
+		// own IDs and corrupt the remap.
+		root = rec.Start("shard-run", 0)
+		root.SetStr("task", req.Task)
+		ctx = obs.ContextWithSpan(obs.NewContext(ctx, rec), root)
+	}
 	groups, stats, err := e.execute(ctx, spec, p, eng, req.Progress)
 	if err != nil {
 		return nil, err
 	}
-	return &Partial{
+	part := &Partial{
 		Task: spec.Name, Params: p, Options: eng.Config(),
 		Groups: groups, Stats: stats,
-	}, nil
+	}
+	if rec != nil {
+		root.End()
+		spans, dropped := rec.Snapshot()
+		part.Trace = &obs.TraceData{Spans: spans, Dropped: dropped}
+	}
+	return part, nil
 }
 
 // paramsKey is the canonical comparison form of resolved parameters.
@@ -180,6 +209,7 @@ func MergeStats(partials []*Partial) Stats {
 		}
 		s.Formal = s.Formal.Add(p.Stats.Formal)
 		s.RefineRounds += p.Stats.RefineRounds
+		s.Profile = s.Profile.Add(p.Stats.Profile)
 	}
 	return s
 }

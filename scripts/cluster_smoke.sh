@@ -7,8 +7,13 @@
 # byte-identical output against the single-process run each time.
 # Then kill -9 the coordinator, restart it on the same data dir, and
 # check the finished run is served byte-identical from the recovered
-# journal while the workers re-register on their own. Finishes with a
-# /metrics scrape and a graceful SIGINT drain.
+# journal while the workers re-register on their own. A traced
+# distributed submission then exercises the observability path: the
+# stitched span tree is fetched from /v1/runs/{id}/trace and
+# jq-validated (single root, worker spans present), the Perfetto
+# export is produced by fvevalctl trace, and the coordinator's -pprof
+# heap endpoint is scraped. Finishes with a /metrics scrape (runtime
+# gauges + queue-wait histogram included) and a graceful SIGINT drain.
 #
 # Run via `make cluster-smoke`; CI runs the same script.
 set -euo pipefail
@@ -36,7 +41,7 @@ trap cleanup EXIT
 echo "cluster-smoke: building fveval, fvevald, fvevalctl"
 go build -o "$BIN" ./cmd/fveval ./cmd/fvevald ./cmd/fvevalctl
 
-"$BIN/fvevald" -addr "127.0.0.1:$CPORT" -data-dir "$DATA" >"$BIN/coord.log" 2>&1 &
+"$BIN/fvevald" -addr "127.0.0.1:$CPORT" -data-dir "$DATA" -pprof >"$BIN/coord.log" 2>&1 &
 COORD=$!
 "$BIN/fvevald" -addr "127.0.0.1:$PORT1" -join "$COORD_URL" \
   -advertise "http://127.0.0.1:$PORT1" >"$BIN/w1.log" 2>&1 &
@@ -132,7 +137,7 @@ report_when_done "$BIN/pre-crash.json"
 kill -9 "$COORD"
 wait "$COORD" 2>/dev/null || true
 COORD=""
-"$BIN/fvevald" -addr "127.0.0.1:$CPORT" -data-dir "$DATA" >"$BIN/coord2.log" 2>&1 &
+"$BIN/fvevald" -addr "127.0.0.1:$CPORT" -data-dir "$DATA" -pprof >"$BIN/coord2.log" 2>&1 &
 COORD=$!
 wait_ready "$CPORT"
 report_when_done "$BIN/post-crash.json"
@@ -142,6 +147,27 @@ echo "cluster-smoke: workers re-register with the restarted coordinator"
 wait_fleet
 "$BIN/fvevalctl" run -task table1 -registry "$COORD_URL" 2>/dev/null >"$BIN/reg2.out"
 diff "$BIN/single.out" "$BIN/reg2.out"
+
+echo "cluster-smoke: traced distributed run (stitched spans + Perfetto export)"
+"$BIN/fvevalctl" submit -to "$COORD_URL" -task table1 -distributed -follow \
+  -trace "$BIN/trace.json" 2>/dev/null >"$BIN/traced.out"
+diff "$BIN/single.out" "$BIN/traced.out"
+# the Chrome export must be non-empty and contain the workers' spans
+jq -e '.traceEvents | length > 0' "$BIN/trace.json" >/dev/null
+jq -e '[.traceEvents[] | select(.name == "shard-run")] | length > 0' "$BIN/trace.json" >/dev/null
+jq -e '[.traceEvents[] | select(.name == "job")] | length > 0' "$BIN/trace.json" >/dev/null
+# the raw span dump from /v1/runs/{id}/trace must be one stitched tree:
+# exactly one root, and every parent reference resolvable
+TRID=$(jq -r '[.traceEvents[] | .args.run_id // empty][0]' "$BIN/trace.json")
+[ -n "$TRID" ]
+"$BIN/fvevalctl" trace -to "$COORD_URL" -raw "$TRID" >"$BIN/trace.ndjson"
+jq -s -e '[.[] | select((.parent // 0) == 0)] | length == 1' "$BIN/trace.ndjson" >/dev/null
+jq -s -e '([.[].id] | sort) as $ids | [.[] | select((.parent // 0) != 0) | .parent] | all(. as $p | $ids | bsearch($p) >= 0)' \
+  "$BIN/trace.ndjson" >/dev/null
+
+echo "cluster-smoke: pprof heap scrape (-pprof)"
+curl -fsS "$COORD_URL/debug/pprof/heap?debug=1" >"$BIN/heap.out"
+grep -q '^heap profile:' "$BIN/heap.out"
 
 # A repeat submission against the restarted coordinator hits the
 # result cache recovered from the journal, and still renders the same
@@ -158,6 +184,9 @@ grep -q '^fveval_workers_live 2$' "$BIN/metrics.out"
 grep -q '^fveval_queue_depth ' "$BIN/metrics.out"
 grep -q '^fveval_run_wall_seconds_bucket' "$BIN/metrics.out"
 grep -q '^fveval_solver_wall_seconds_bucket' "$BIN/metrics.out"
+grep -q '^fveval_queue_wait_seconds_bucket' "$BIN/metrics.out"
+grep -q '^fveval_go_goroutines ' "$BIN/metrics.out"
+grep -q '^fveval_go_heap_bytes ' "$BIN/metrics.out"
 
 echo "cluster-smoke: graceful shutdown (SIGINT drains, exit 0)"
 kill -INT "$W1"
@@ -173,4 +202,4 @@ grep -q "drained" "$BIN/w1.log"
 grep -q "drained" "$BIN/w2.log"
 grep -q "drained" "$BIN/coord2.log"
 
-echo "cluster-smoke: OK — static, registered, and loopback fleets byte-identical; dead-worker retry exercised; journal recovery byte-identical after kill -9; /metrics live"
+echo "cluster-smoke: OK — static, registered, and loopback fleets byte-identical; dead-worker retry exercised; journal recovery byte-identical after kill -9; distributed trace stitched + exported; pprof and /metrics live"
