@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI stay identical.
 GO ?= go
 
-.PHONY: build test service-smoke cluster-smoke bench lint ci
+.PHONY: build test service-smoke cluster-smoke chaos-smoke bench lint ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,15 @@ service-smoke:
 # /metrics.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# chaos-smoke is the failure-semantics counterpart: everything built
+# with -tags faultinject and driven by seeded fault plans. Injected
+# dispatch/response losses, a stalled (then kill -9ed) worker, and a
+# kill -9ed coordinator that must resume its in-flight distributed
+# run from journaled shard checkpoints — every stage byte-diffed
+# against the single-process reference.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # bench regenerates every table/figure once and refreshes the
 # BENCH_tables.json perf-trajectory artifact (benchmark -> ns/op plus
@@ -52,4 +61,4 @@ lint:
 	fi
 	$(GO) vet ./...
 
-ci: build lint test service-smoke cluster-smoke bench
+ci: build lint test service-smoke cluster-smoke chaos-smoke bench

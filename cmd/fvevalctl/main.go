@@ -45,6 +45,7 @@ import (
 
 	"fveval/internal/dist"
 	"fveval/internal/engine"
+	"fveval/internal/fault"
 	"fveval/internal/obs"
 	"fveval/internal/service/api"
 	"fveval/internal/service/client"
@@ -127,6 +128,12 @@ type runConfig struct {
 	shards   int
 	attempts int
 	timeout  time.Duration
+	hedge    bool
+	backoff  time.Duration
+	backCap  time.Duration
+	seed     int64
+	deadline time.Duration
+	faults   string
 	jsonOut  bool
 	verbose  bool
 	traceOut string
@@ -150,6 +157,12 @@ func runFlags(c *runConfig) *flag.FlagSet {
 	fs.IntVar(&c.shards, "shards", 0, "shard count override (0 = one per worker)")
 	fs.IntVar(&c.attempts, "attempts", 0, "max attempts per shard before the run fails (0 = 3)")
 	fs.DurationVar(&c.timeout, "shard-timeout", 0, "per-attempt deadline; an expired shard is reassigned (0 = none)")
+	fs.BoolVar(&c.hedge, "hedge", false, "speculatively re-dispatch the last straggler shard to an idle worker (run only)")
+	fs.DurationVar(&c.backoff, "backoff", 0, "base shard retry backoff, doubled per attempt with full jitter (0 = 50ms; run only)")
+	fs.DurationVar(&c.backCap, "backoff-cap", 0, "shard retry backoff ceiling (0 = 2s; run only)")
+	fs.Int64Var(&c.seed, "seed", 0, "deterministic seed for retry jitter and hedge timing (0 = 1; run only)")
+	fs.DurationVar(&c.deadline, "timeout", 0, "end-to-end run deadline, forwarded to workers per shard (0 = none)")
+	fs.StringVar(&c.faults, "faults", "", "client-side fault-injection plan (requires a -tags faultinject build; run only)")
 	fs.BoolVar(&c.jsonOut, "json", false, "emit the merged run plus fleet metadata as JSON")
 	fs.BoolVar(&c.verbose, "v", false, "stream coordinator progress to stderr")
 	fs.StringVar(&c.traceOut, "trace", "", "record a run trace and write Chrome trace-event JSON here")
@@ -224,10 +237,17 @@ func runCmd(args []string) error {
 		return err
 	}
 
+	if err := activateFaults(c.faults); err != nil {
+		return err
+	}
 	opts := dist.Options{
 		Shards:       c.shards,
 		MaxAttempts:  c.attempts,
 		ShardTimeout: c.timeout,
+		Hedge:        c.hedge,
+		BackoffBase:  c.backoff,
+		BackoffCap:   c.backCap,
+		Seed:         c.seed,
 	}
 	if c.verbose {
 		opts.Progress = func(ev dist.Event) {
@@ -248,6 +268,11 @@ func runCmd(args []string) error {
 		return err
 	}
 	ctx := context.Background()
+	if c.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.deadline)
+		defer cancel()
+	}
 	var rec *obs.Recorder
 	var root *obs.Span
 	if c.traceOut != "" {
@@ -283,6 +308,28 @@ func runCmd(args []string) error {
 	fmt.Println(res.Run.Report.Render())
 	fmt.Fprintf(os.Stderr, "fvevalctl: %d shards over %d workers, %d attempts (%d retried), %d jobs, slowest shard %dms\n",
 		res.Shards, res.Workers, res.Attempts, res.Retries, res.Run.Stats.Jobs, res.Run.Stats.WallMS)
+	return nil
+}
+
+// activateFaults arms a client-side fault-injection plan for the
+// in-process coordinator seams (dist.dispatch, dist.response, and the
+// engine points of -local loopback workers). Gated on the faultinject
+// build tag, like the server's -faults flag and FVEVAL_FAULTS.
+func activateFaults(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	if !fault.BuildEnabled {
+		return fmt.Errorf("-faults requires a binary built with -tags faultinject")
+	}
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		return err
+	}
+	if err := fault.Activate(plan); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fvevalctl: fault injection active: %s\n", fault.Describe())
 	return nil
 }
 
@@ -380,7 +427,7 @@ func submitCmd(args []string) error {
 		req.Trace = &obs.TraceContext{Cap: c.traceCap}
 	}
 	cl := newClient(to, apiKey)
-	sub := api.Submission{Request: req, Distributed: distributed, Priority: priority}
+	sub := api.Submission{Request: req, Distributed: distributed, Priority: priority, TimeoutMS: c.deadline.Milliseconds()}
 
 	if !follow {
 		resp, err := cl.Submit(context.Background(), sub)

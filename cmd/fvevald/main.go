@@ -24,8 +24,9 @@
 //	GET    /debug/pprof/...             Go profiling (only with -pprof)
 //
 // With -data-dir the run store is persistent: terminal runs survive
-// restarts byte-for-byte, queued runs are re-admitted, and runs that
-// were in flight at a crash are reported interrupted.
+// restarts byte-for-byte, queued runs are re-admitted, distributed
+// runs that were in flight at a crash resume from their checkpointed
+// shards, and other in-flight runs are reported interrupted.
 //
 // A process can be both coordinator and worker. Started with -join,
 // it registers its own -advertise URL with the coordinator and
@@ -62,6 +63,7 @@ import (
 	"time"
 
 	"fveval/internal/engine"
+	"fveval/internal/fault"
 	"fveval/internal/service"
 	"fveval/internal/service/client"
 	"fveval/internal/task"
@@ -85,7 +87,22 @@ func main() {
 	join := flag.String("join", "", "coordinator base URL to register with as a worker")
 	advertise := flag.String("advertise", "", "base URL to advertise when joining (default derived from -addr)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for flushing streams and closing connections")
+	faults := flag.String("faults", "", "deterministic fault-injection plan (requires a -tags faultinject build; see internal/fault)")
 	flag.Parse()
+
+	if *faults != "" {
+		if !fault.BuildEnabled {
+			log.Fatalf("fvevald: -faults requires a binary built with -tags faultinject")
+		}
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			log.Fatalf("fvevald: -faults: %v", err)
+		}
+		if err := fault.Activate(plan); err != nil {
+			log.Fatalf("fvevald: -faults: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "fvevald: fault injection active: %s\n", fault.Describe())
+	}
 
 	cfg := engine.Config{
 		Workers:  *workers,

@@ -34,6 +34,7 @@ import (
 
 	"fveval/internal/core"
 	"fveval/internal/equiv"
+	"fveval/internal/fault"
 	"fveval/internal/formal"
 	"fveval/internal/gen/rtlgen"
 	"fveval/internal/llm"
@@ -383,6 +384,12 @@ func (e *Engine) runGrid(ctx context.Context, models []string, nInst, nSamples i
 		return outcomes, ctx.Err()
 	}
 
+	// An injected engine.job fault fails the whole grid through the
+	// cancel cause, so callers see the injected error rather than a
+	// bare context.Canceled (which would misclassify as a user cancel).
+	ctx, abort := context.WithCancelCause(ctx)
+	defer abort(nil)
+
 	jobs := make(chan job, e.cfg.Workers)
 	type result struct {
 		j    job
@@ -422,6 +429,10 @@ func (e *Engine) runGrid(ctx context.Context, models []string, nInst, nSamples i
 					return
 				case j, ok := <-jobs:
 					if !ok {
+						return
+					}
+					if err := fault.Hit(fault.EngineJob); err != nil {
+						abort(err)
 						return
 					}
 					select {
@@ -472,7 +483,7 @@ feed:
 	close(results)
 	collector.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, context.Cause(ctx)
 	}
 	return outcomes, nil
 }

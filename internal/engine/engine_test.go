@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"fveval/internal/core"
+	"fveval/internal/fault"
 	"fveval/internal/llm"
 )
 
@@ -394,5 +395,26 @@ func TestReconfigureSharesCache(t *testing.T) {
 	}
 	if _, err := base.Reconfigure(Config{Limit: -4}); err == nil {
 		t.Fatalf("Reconfigure accepted a negative Limit")
+	}
+}
+
+// TestEngineJobFaultFailsRun drives the engine.job injection point: a
+// fired fault aborts the grid through the cancel cause, so the caller
+// sees the injected error — not a bare context.Canceled that would
+// misclassify the run as cancelled by the user.
+func TestEngineJobFaultFailsRun(t *testing.T) {
+	defer fault.Reset()
+	if err := fault.Activate(fault.Plan{Points: map[string]fault.PointPlan{
+		fault.EngineJob: {Count: 1, Skip: 2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Limit: 12, Workers: 2})
+	_, err := e.NL2SVAHuman(context.Background(), []llm.Model{llm.ModelByName("gpt-4o")}, nil)
+	if err == nil || !strings.Contains(err.Error(), fault.EngineJob) {
+		t.Fatalf("injected engine.job fault returned %v, want the injected cause", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("injected fault surfaced as a user cancel: %v", err)
 	}
 }

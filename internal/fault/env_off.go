@@ -1,0 +1,8 @@
+//go:build !faultinject
+
+package fault
+
+// BuildEnabled is false in regular builds: FVEVAL_FAULTS is ignored
+// and the CLIs reject -faults, so release binaries cannot be switched
+// into fault mode. Tests still inject programmatically via Activate.
+const BuildEnabled = false

@@ -1,0 +1,33 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"fmt"
+	"os"
+)
+
+// BuildEnabled reports whether this binary was built with the
+// faultinject tag: only such builds honor FVEVAL_FAULTS or accept a
+// -faults flag.
+const BuildEnabled = true
+
+// init activates the FVEVAL_FAULTS plan before main runs, so every
+// process in a chaos run — coordinator, workers, client — picks up
+// injection from its environment with no per-binary wiring. A
+// malformed spec aborts the process: a chaos config typo must never
+// degrade silently into a fault-free run.
+func init() {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return
+	}
+	plan, err := ParsePlan(spec)
+	if err == nil {
+		err = Activate(plan)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fault: %s: %v\n", EnvVar, err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,380 @@
+// Package fault is the deterministic fault-injection layer used to
+// harden the service, dist, store, and engine crash seams. Call sites
+// name an injection point (Hit, CutLen); an activated Plan decides —
+// from a seeded per-point RNG, so a given seed always fires the same
+// arrivals — whether that arrival errors, stalls, or tears a write.
+//
+// When no plan is active every hook is a single atomic pointer load
+// (the same discipline internal/obs uses for disabled tracing), so the
+// points cost nothing on production paths. Activation from the
+// environment (FVEVAL_FAULTS) is compiled in only under the
+// `faultinject` build tag — release binaries cannot be switched into
+// fault mode; tests activate programmatically via Activate/Reset.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar names the activation variable honored by faultinject builds:
+// a plan spec like "seed=7;dist.response:p=0.1;worker.heartbeat:delay=300ms".
+const EnvVar = "FVEVAL_FAULTS"
+
+// Injection point names, one per crash seam. Every point compiled into
+// the tree is listed in Points; ParsePlan and Activate reject unknown
+// names so a chaos config typo fails loudly instead of silently
+// injecting nothing.
+const (
+	// JournalAppend fails a run-store journal append before any bytes
+	// are written (the record simply doesn't land).
+	JournalAppend = "journal.append"
+	// JournalFsync tears a journal write mid-record (cut mode): a
+	// prefix of the line reaches disk, as after a crash between write
+	// and fsync.
+	JournalFsync = "journal.fsync"
+	// SnapshotCompact fails snapshot compaction before it starts.
+	SnapshotCompact = "snapshot.compact"
+	// WorkerRegister fails worker registration at the coordinator.
+	WorkerRegister = "worker.register"
+	// WorkerHeartbeat delays or fails a worker heartbeat at the
+	// coordinator (late heartbeats lapse the lease and force
+	// re-registration).
+	WorkerHeartbeat = "worker.heartbeat"
+	// DistDispatch fails a shard dispatch before it reaches the runner.
+	DistDispatch = "dist.dispatch"
+	// DistResponse drops a shard response after the runner succeeded —
+	// the work happened but the coordinator never sees the partial.
+	DistResponse = "dist.response"
+	// EngineJob delays or fails one engine evaluation job.
+	EngineJob = "engine.job"
+)
+
+// Points lists every injection point compiled into this binary.
+var Points = []string{
+	JournalAppend, JournalFsync, SnapshotCompact,
+	WorkerRegister, WorkerHeartbeat,
+	DistDispatch, DistResponse,
+	EngineJob,
+}
+
+// PointPlan configures one injection point.
+type PointPlan struct {
+	// Prob is the fire probability per arrival; 0 means always fire
+	// (once armed and under Count).
+	Prob float64
+	// Count caps total fires (0 = unlimited).
+	Count int
+	// Skip arms the point only after this many arrivals passed through.
+	Skip int
+	// Delay stalls the caller on every fire.
+	Delay time.Duration
+	// Err makes a fire return an injected error (message ErrMsg, or a
+	// default). A plan with neither Err, Cut, nor Delay set defaults to
+	// Err on Activate.
+	Err    bool
+	ErrMsg string
+	// Cut makes the point a torn-write point: CutLen fires return an
+	// offset to cut the payload at — CutAt if non-negative, else seeded
+	// random in [0, n).
+	Cut   bool
+	CutAt int
+}
+
+// Plan is a full activation: a seed plus per-point configs.
+type Plan struct {
+	Seed   uint64
+	Points map[string]PointPlan
+}
+
+// Counts is one point's arrival/fire tally.
+type Counts struct {
+	Arrivals int
+	Fires    int
+}
+
+type pointState struct {
+	mu       sync.Mutex
+	cfg      PointPlan
+	rng      uint64
+	arrivals int
+	fires    int
+}
+
+type state struct {
+	pts map[string]*pointState
+}
+
+var active atomic.Pointer[state]
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashName folds a point name into the seed so distinct points draw
+// independent deterministic streams from one plan seed.
+func hashName(name string) uint64 {
+	var h uint64 = 0xcbf29ce484222325 // FNV-1a
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func knownPoint(name string) bool {
+	for _, p := range Points {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Activate installs a plan, replacing any active one. Counters reset.
+func Activate(p Plan) error {
+	st := &state{pts: map[string]*pointState{}}
+	for name, cfg := range p.Points {
+		if !knownPoint(name) {
+			return fmt.Errorf("fault: unknown injection point %q", name)
+		}
+		if cfg.Prob < 0 || cfg.Prob > 1 {
+			return fmt.Errorf("fault: point %s: probability %v out of [0,1]", name, cfg.Prob)
+		}
+		if cfg.Count < 0 || cfg.Skip < 0 || cfg.Delay < 0 {
+			return fmt.Errorf("fault: point %s: negative option", name)
+		}
+		if !cfg.Err && !cfg.Cut && cfg.Delay == 0 {
+			cfg.Err = true
+		}
+		if !cfg.Cut {
+			cfg.CutAt = 0
+		}
+		seed := p.Seed ^ hashName(name)
+		splitmix64(&seed) // decorrelate near-identical seeds
+		st.pts[name] = &pointState{cfg: cfg, rng: seed}
+	}
+	active.Store(st)
+	return nil
+}
+
+// Reset deactivates injection; every hook reverts to its no-op path.
+func Reset() {
+	active.Store(nil)
+}
+
+// Enabled reports whether a plan is active.
+func Enabled() bool {
+	return active.Load() != nil
+}
+
+// arrive consumes one arrival and decides whether it fires; the second
+// return is an independent random draw for fire-time choices (cut
+// offsets).
+func (ps *pointState) arrive() (bool, uint64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.arrivals++
+	if ps.arrivals <= ps.cfg.Skip {
+		return false, 0
+	}
+	if ps.cfg.Count > 0 && ps.fires >= ps.cfg.Count {
+		return false, 0
+	}
+	draw := splitmix64(&ps.rng)
+	if ps.cfg.Prob > 0 && ps.cfg.Prob < 1 {
+		if float64(draw>>11)/float64(1<<53) >= ps.cfg.Prob {
+			return false, 0
+		}
+	}
+	ps.fires++
+	return true, splitmix64(&ps.rng)
+}
+
+// Hit is the generic seam: it returns nil instantly when no plan
+// targets the point, stalls for the plan's Delay on a fire, and
+// returns an injected error when the plan is an error plan.
+func Hit(point string) error {
+	st := active.Load()
+	if st == nil {
+		return nil
+	}
+	ps := st.pts[point]
+	if ps == nil {
+		return nil
+	}
+	fire, _ := ps.arrive()
+	if !fire {
+		return nil
+	}
+	if ps.cfg.Delay > 0 {
+		time.Sleep(ps.cfg.Delay)
+	}
+	if !ps.cfg.Err {
+		return nil
+	}
+	msg := ps.cfg.ErrMsg
+	if msg == "" {
+		msg = "injected fault"
+	}
+	return fmt.Errorf("fault %s: %s", point, msg)
+}
+
+// CutLen is the torn-write seam: for an n-byte payload it returns
+// (offset, true) when a cut-mode plan fires, telling the caller to
+// persist only payload[:offset] and fail — the on-disk artifact of a
+// crash mid-write. Returns (0, false) when inactive or not firing.
+func CutLen(point string, n int) (int, bool) {
+	st := active.Load()
+	if st == nil {
+		return 0, false
+	}
+	ps := st.pts[point]
+	if ps == nil || !ps.cfg.Cut || n <= 0 {
+		return 0, false
+	}
+	fire, draw := ps.arrive()
+	if !fire {
+		return 0, false
+	}
+	if ps.cfg.CutAt >= 0 {
+		off := ps.cfg.CutAt
+		if off > n {
+			off = n
+		}
+		return off, true
+	}
+	return int(draw % uint64(n)), true
+}
+
+// Snapshot returns per-point arrival/fire tallies for the active plan
+// (nil when inactive). Used by /metrics and tests.
+func Snapshot() map[string]Counts {
+	st := active.Load()
+	if st == nil {
+		return nil
+	}
+	out := make(map[string]Counts, len(st.pts))
+	for name, ps := range st.pts {
+		ps.mu.Lock()
+		out[name] = Counts{Arrivals: ps.arrivals, Fires: ps.fires}
+		ps.mu.Unlock()
+	}
+	return out
+}
+
+// Fires returns one point's fire count (0 when inactive).
+func Fires(point string) int {
+	st := active.Load()
+	if st == nil {
+		return 0
+	}
+	ps := st.pts[point]
+	if ps == nil {
+		return 0
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.fires
+}
+
+// ParsePlan parses the FVEVAL_FAULTS spec grammar:
+//
+//	seed=7;point:opt,opt;point:opt
+//
+// where each opt is p=<float> | count=<n> | skip=<n> | delay=<dur> |
+// err | err=<msg> | cut | cut=<offset>. Example:
+//
+//	seed=7;dist.response:p=0.1;journal.fsync:cut=12,count=1;worker.heartbeat:delay=300ms,p=0.5
+func ParsePlan(spec string) (Plan, error) {
+	plan := Plan{Points: map[string]PointPlan{}}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "seed="); ok {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: bad seed %q", v)
+			}
+			plan.Seed = n
+			continue
+		}
+		name, opts, ok := strings.Cut(part, ":")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: bad plan element %q (want point:opts)", part)
+		}
+		name = strings.TrimSpace(name)
+		if !knownPoint(name) {
+			return Plan{}, fmt.Errorf("fault: unknown injection point %q (known: %s)", name, strings.Join(Points, ", "))
+		}
+		if _, dup := plan.Points[name]; dup {
+			return Plan{}, fmt.Errorf("fault: point %s configured twice", name)
+		}
+		cfg := PointPlan{CutAt: -1}
+		for _, opt := range strings.Split(opts, ",") {
+			opt = strings.TrimSpace(opt)
+			if opt == "" {
+				continue
+			}
+			key, val, hasVal := strings.Cut(opt, "=")
+			var err error
+			switch key {
+			case "p":
+				cfg.Prob, err = strconv.ParseFloat(val, 64)
+			case "count":
+				cfg.Count, err = strconv.Atoi(val)
+			case "skip":
+				cfg.Skip, err = strconv.Atoi(val)
+			case "delay":
+				cfg.Delay, err = time.ParseDuration(val)
+			case "err":
+				cfg.Err = true
+				if hasVal {
+					cfg.ErrMsg = val
+				}
+			case "cut":
+				cfg.Cut = true
+				if hasVal {
+					cfg.CutAt, err = strconv.Atoi(val)
+				}
+			default:
+				return Plan{}, fmt.Errorf("fault: point %s: unknown option %q", name, opt)
+			}
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: point %s: bad option %q: %v", name, opt, err)
+			}
+		}
+		plan.Points[name] = cfg
+	}
+	return plan, nil
+}
+
+// Describe renders the active plan's tallies one point per line,
+// sorted — a stable debugging/summary form.
+func Describe() string {
+	snap := Snapshot()
+	if snap == nil {
+		return "fault injection inactive"
+	}
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s: %d/%d fired\n", name, snap[name].Fires, snap[name].Arrivals)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

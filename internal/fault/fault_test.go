@@ -1,0 +1,233 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func activate(t *testing.T, p Plan) {
+	t.Helper()
+	if err := Activate(p); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	t.Cleanup(Reset)
+}
+
+func TestInactiveIsNoOp(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with no plan")
+	}
+	if err := Hit(DistResponse); err != nil {
+		t.Fatalf("inactive Hit returned %v", err)
+	}
+	if off, ok := CutLen(JournalFsync, 100); ok {
+		t.Fatalf("inactive CutLen fired at %d", off)
+	}
+	if Snapshot() != nil {
+		t.Fatal("inactive Snapshot non-nil")
+	}
+}
+
+func TestUnconfiguredPointIsNoOp(t *testing.T) {
+	activate(t, Plan{Points: map[string]PointPlan{DistDispatch: {}}})
+	for i := 0; i < 10; i++ {
+		if err := Hit(EngineJob); err != nil {
+			t.Fatalf("unconfigured point fired: %v", err)
+		}
+	}
+	if got := Snapshot()[EngineJob]; got.Arrivals != 0 {
+		t.Fatalf("unconfigured point tallied arrivals: %+v", got)
+	}
+}
+
+func TestCountAndSkip(t *testing.T) {
+	activate(t, Plan{Points: map[string]PointPlan{
+		DistResponse: {Count: 2, Skip: 1},
+	}})
+	var errs int
+	for i := 0; i < 6; i++ {
+		if Hit(DistResponse) != nil {
+			if i == 0 {
+				t.Fatal("skip=1 fired on first arrival")
+			}
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("count=2 plan fired %d times", errs)
+	}
+	if got := Snapshot()[DistResponse]; got.Arrivals != 6 || got.Fires != 2 {
+		t.Fatalf("tally = %+v, want 6 arrivals / 2 fires", got)
+	}
+	if Fires(DistResponse) != 2 {
+		t.Fatalf("Fires = %d", Fires(DistResponse))
+	}
+}
+
+// TestProbabilityDeterministic pins that a seeded probabilistic plan
+// fires the exact same arrival indices every activation — the property
+// the chaos smoke's reproducibility rests on.
+func TestProbabilityDeterministic(t *testing.T) {
+	pattern := func() []int {
+		activate(t, Plan{Seed: 42, Points: map[string]PointPlan{
+			DistResponse: {Prob: 0.3},
+		}})
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if Hit(DistResponse) != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := pattern(), pattern()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("p=0.3 over 200 arrivals fired %d times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs disagree: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire %d at arrival %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Rough sanity on the rate: 0.3 ± a wide band.
+	if len(a) < 30 || len(a) > 90 {
+		t.Fatalf("p=0.3 fired %d/200 times", len(a))
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	fires := func(seed uint64) []int {
+		activate(t, Plan{Seed: seed, Points: map[string]PointPlan{DistResponse: {Prob: 0.3}}})
+		var out []int
+		for i := 0; i < 100; i++ {
+			if Hit(DistResponse) != nil {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	a, b := fires(1), fires(2)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fire patterns")
+	}
+}
+
+func TestDelayOnlyPlanStallsWithoutError(t *testing.T) {
+	activate(t, Plan{Points: map[string]PointPlan{
+		WorkerHeartbeat: {Delay: 30 * time.Millisecond},
+	}})
+	start := time.Now()
+	if err := Hit(WorkerHeartbeat); err != nil {
+		t.Fatalf("delay-only plan returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay-only plan stalled %v, want ~30ms", d)
+	}
+}
+
+func TestCutLenFixedAndRandom(t *testing.T) {
+	activate(t, Plan{Points: map[string]PointPlan{
+		JournalFsync: {Cut: true, CutAt: 7},
+	}})
+	off, ok := CutLen(JournalFsync, 100)
+	if !ok || off != 7 {
+		t.Fatalf("fixed cut = (%d, %v), want (7, true)", off, ok)
+	}
+	// Hit on a cut-mode plan must not synthesize errors.
+	if err := Hit(JournalFsync); err != nil {
+		t.Fatalf("cut plan Hit errored: %v", err)
+	}
+
+	activate(t, Plan{Seed: 9, Points: map[string]PointPlan{
+		JournalFsync: {Cut: true, CutAt: -1},
+	}})
+	for i := 0; i < 50; i++ {
+		off, ok := CutLen(JournalFsync, 33)
+		if !ok {
+			t.Fatal("always-on cut plan did not fire")
+		}
+		if off < 0 || off >= 33 {
+			t.Fatalf("random cut offset %d out of [0,33)", off)
+		}
+	}
+}
+
+func TestActivateRejectsBadPlans(t *testing.T) {
+	if err := Activate(Plan{Points: map[string]PointPlan{"no.such.point": {}}}); err == nil {
+		t.Fatal("unknown point accepted")
+	}
+	if err := Activate(Plan{Points: map[string]PointPlan{DistResponse: {Prob: 1.5}}}); err == nil {
+		t.Fatal("probability 1.5 accepted")
+	}
+	Reset()
+}
+
+func TestParsePlan(t *testing.T) {
+	plan, err := ParsePlan("seed=7; dist.response:p=0.1,count=3 ;journal.fsync:cut=12;worker.heartbeat:delay=300ms,p=0.5;engine.job:err=boom")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if plan.Seed != 7 {
+		t.Fatalf("seed = %d", plan.Seed)
+	}
+	if got := plan.Points[DistResponse]; got.Prob != 0.1 || got.Count != 3 {
+		t.Fatalf("dist.response = %+v", got)
+	}
+	if got := plan.Points[JournalFsync]; !got.Cut || got.CutAt != 12 {
+		t.Fatalf("journal.fsync = %+v", got)
+	}
+	if got := plan.Points[WorkerHeartbeat]; got.Delay != 300*time.Millisecond || got.Prob != 0.5 {
+		t.Fatalf("worker.heartbeat = %+v", got)
+	}
+	if got := plan.Points[EngineJob]; !got.Err || got.ErrMsg != "boom" {
+		t.Fatalf("engine.job = %+v", got)
+	}
+
+	for _, bad := range []string{
+		"seed=x",
+		"dist.response",
+		"no.such.point:p=0.1",
+		"dist.response:p=lots",
+		"dist.response:frequency=2",
+		"dist.response:p=0.1;dist.response:p=0.2",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Fatalf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestErrMessageNamesPoint(t *testing.T) {
+	activate(t, Plan{Points: map[string]PointPlan{DistDispatch: {ErrMsg: "link down"}}})
+	err := Hit(DistDispatch)
+	if err == nil || !strings.Contains(err.Error(), DistDispatch) || !strings.Contains(err.Error(), "link down") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	Reset()
+	if Describe() != "fault injection inactive" {
+		t.Fatalf("inactive Describe = %q", Describe())
+	}
+	activate(t, Plan{Points: map[string]PointPlan{DistResponse: {Count: 1}}})
+	Hit(DistResponse)
+	Hit(DistResponse)
+	if got := Describe(); got != "dist.response: 1/2 fired" {
+		t.Fatalf("Describe = %q", got)
+	}
+}

@@ -10,6 +10,7 @@ package api
 
 import (
 	"fmt"
+	"time"
 
 	"fveval/internal/task"
 )
@@ -76,10 +77,20 @@ type Error struct {
 	Status  int    // HTTP status code
 	Code    string // machine-readable error code
 	Message string
+	// RetryAfter is the server's back-pressure hint (Retry-After
+	// header on 429/503), zero when absent. Retry loops — notably the
+	// dist coordinator's backoff — treat it as a floor on their delay.
+	RetryAfter time.Duration
 }
 
 func (e *Error) Error() string {
 	return fmt.Sprintf("service: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// RetryAfterHint exposes the back-pressure hint behind the interface
+// internal/dist probes for (it cannot import this package's consumers).
+func (e *Error) RetryAfterHint() time.Duration {
+	return e.RetryAfter
 }
 
 // IsCode reports whether err is a service *Error with the given code.
@@ -124,6 +135,14 @@ type Submission struct {
 	// Priority orders the admission queue (MinPriority..MaxPriority,
 	// default 0; higher runs earlier).
 	Priority int `json:"priority,omitempty"`
+
+	// TimeoutMS bounds the run's execution wall-clock: the server
+	// wraps the executor context in this deadline, and a distributed
+	// coordinator forwards the remaining budget to worker shard
+	// requests — so an abandoned or dead client cannot pin executor
+	// slots forever. 0 = no deadline. A run that overruns lands in
+	// StateError.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // SubmitResponse acknowledges a submission. Status is StateQueued for

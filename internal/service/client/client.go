@@ -59,17 +59,24 @@ func New(baseURL string, opts ...Option) *Client {
 func (c *Client) Base() string { return c.base }
 
 // apiError decodes the unified error envelope into an *api.Error; a
-// body that is not an envelope still yields a usable error.
+// body that is not an envelope still yields a usable error. A
+// Retry-After header (seconds) rides along as the back-pressure hint
+// retry loops treat as a floor on their backoff.
 func apiError(resp *http.Response) error {
+	var retryAfter time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	var env api.ErrorEnvelope
 	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
-		return &api.Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		return &api.Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message, RetryAfter: retryAfter}
 	}
 	return &api.Error{
-		Status:  resp.StatusCode,
-		Code:    api.CodeInternal,
-		Message: fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data))),
+		Status:     resp.StatusCode,
+		Code:       api.CodeInternal,
+		Message:    fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data))),
+		RetryAfter: retryAfter,
 	}
 }
 
@@ -272,7 +279,18 @@ func (c *Client) Run(ctx context.Context, sub api.Submission, progress func(task
 func (c *Client) RunShard(ctx context.Context, req task.Request) (*task.Partial, error) {
 	progress := req.Progress
 	req.Progress = nil
-	resp, err := c.Submit(ctx, api.Submission{Request: req, Partial: true})
+	sub := api.Submission{Request: req, Partial: true}
+	// Forward the remaining deadline budget so the worker's executor
+	// enforces it server-side: a coordinator that dies mid-shard can't
+	// leave the worker grinding an orphaned run to completion.
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		sub.TimeoutMS = rem.Milliseconds() + 1
+	}
+	resp, err := c.Submit(ctx, sub)
 	if err != nil {
 		return nil, fmt.Errorf("client: %s: submit shard: %w", c.base, err)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fveval/internal/fault"
 	"fveval/internal/formal"
 )
 
@@ -31,6 +32,15 @@ type metrics struct {
 	shardRetries atomic.Int64
 	workerEvicts atomic.Int64
 	compactions  atomic.Int64
+	// Failure-path counters from the robustness layer: breaker trips
+	// and recoveries plus hedges stream in from dist events during
+	// distributed runs; checkpoint counters track shard partials
+	// persisted to the store and shards restored from them on resume.
+	breakerTrips       atomic.Int64
+	breakerRecoveries  atomic.Int64
+	shardHedges        atomic.Int64
+	checkpointsWritten atomic.Int64
+	checkpointRestores atomic.Int64
 
 	runWall histogram
 	// queueWait measures submit→dequeue admission latency. It reuses
@@ -114,6 +124,22 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fstats := s.eng.FormalStats()
 
 	fams := []family{
+		counter("fveval_breaker_recoveries_total",
+			"Worker circuit breakers closed again by a successful half-open probe.",
+			plain(m.breakerRecoveries.Load())),
+		counter("fveval_breaker_trips_total",
+			"Worker circuit breakers tripped open by consecutive shard failures.",
+			plain(m.breakerTrips.Load())),
+		counter("fveval_checkpoint_restores_total",
+			"Distributed shards restored from store checkpoints on resume.",
+			plain(m.checkpointRestores.Load())),
+		counter("fveval_checkpoints_total",
+			"Completed shard partials persisted to the run store.",
+			plain(m.checkpointsWritten.Load())),
+		faultFamily(),
+		counter("fveval_shard_hedges_total",
+			"Speculative straggler-shard re-dispatches (first result wins).",
+			plain(m.shardHedges.Load())),
 		counter("fveval_admission_rejected_total",
 			"Submissions rejected at admission, by reason.",
 			sample("reason", "draining", m.admissionRejected.draining.Load()),
@@ -193,6 +219,28 @@ func (s *Server) writeMetrics(w io.Writer) {
 			fmt.Fprintf(w, "%s%s\n", f.name, l)
 		}
 	}
+}
+
+// faultFamily samples the fault-injection subsystem at scrape time:
+// total injected fires plus one labeled sample per configured point.
+// Zero (with no labeled samples) whenever injection is inactive —
+// i.e. always, outside chaos builds.
+func faultFamily() family {
+	snap := fault.Snapshot()
+	points := make([]string, 0, len(snap))
+	total := int64(0)
+	for name, c := range snap {
+		points = append(points, name)
+		total += int64(c.Fires)
+	}
+	sort.Strings(points)
+	lines := []string{plain(total)}
+	for _, name := range points {
+		lines = append(lines, sample("point", name, int64(snap[name].Fires)))
+	}
+	return counter("fveval_faults_injected_total",
+		"Faults fired by the deterministic injection subsystem, total and by point.",
+		lines...)
 }
 
 // compactionLines exists so the counter stays emitted (as 0) before

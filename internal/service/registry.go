@@ -3,7 +3,9 @@ package service
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,26 +48,45 @@ func newWorkerRegistry(ttl time.Duration, now func() time.Time, evicted func()) 
 	return &workerRegistry{ttl: ttl, now: now, workers: map[string]*workerEntry{}, evicted: evicted}
 }
 
-// workerID derives a stable id from the advertised URL, so a worker
-// that restarts and re-registers the same URL keeps its identity
-// instead of leaking a new entry per restart.
-func workerID(url string) string {
-	sum := sha256.Sum256([]byte(url))
+// normalizeWorkerURL canonicalizes an advertised URL so formatting
+// variants of the same endpoint ("http://Host:9000/" vs
+// "http://host:9000") collapse to one identity. Without this, a
+// worker that re-registers after a missed heartbeat with a slightly
+// different -advertise rendering would coexist with its old live
+// entry, and the next distributed run would plan the same endpoint
+// twice — the double-dispatch race ISSUE 10 pins with a test.
+func normalizeWorkerURL(raw string) string {
+	trimmed := strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(trimmed)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return trimmed
+	}
+	u.Scheme = strings.ToLower(u.Scheme)
+	u.Host = strings.ToLower(u.Host)
+	return strings.TrimRight(u.String(), "/")
+}
+
+// workerID derives a stable id from the normalized advertised URL, so
+// a worker that restarts and re-registers the same endpoint keeps its
+// identity instead of leaking a new entry per restart.
+func workerID(rawURL string) string {
+	sum := sha256.Sum256([]byte(normalizeWorkerURL(rawURL)))
 	return "w-" + hex.EncodeToString(sum[:6])
 }
 
 // register adds or refreshes a worker and returns its id.
-func (r *workerRegistry) register(url string) string {
-	id := workerID(url)
+func (r *workerRegistry) register(rawURL string) string {
+	norm := normalizeWorkerURL(rawURL)
+	id := workerID(norm)
 	now := r.now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if w, ok := r.workers[id]; ok {
 		w.lastSeen = now
-		w.url = url
+		w.url = norm
 		return id
 	}
-	r.workers[id] = &workerEntry{id: id, url: url, registered: now, lastSeen: now}
+	r.workers[id] = &workerEntry{id: id, url: norm, registered: now, lastSeen: now}
 	return id
 }
 
@@ -113,15 +134,26 @@ func (r *workerRegistry) sweepLocked() {
 
 // live returns the live fleet sorted by URL (stable fleet order keeps
 // distributed dispatch deterministic for a fixed registry state).
+// Entries that normalize to the same endpoint — possible only for
+// registrations predating URL normalization, e.g. replayed from an
+// old snapshot — are deduplicated keeping the freshest, so one
+// endpoint can never be planned twice in a distributed run.
 func (r *workerRegistry) live() []api.WorkerInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sweepLocked()
-	out := make([]api.WorkerInfo, 0, len(r.workers))
+	freshest := map[string]*workerEntry{}
 	for _, w := range r.workers {
+		norm := normalizeWorkerURL(w.url)
+		if cur, ok := freshest[norm]; !ok || w.lastSeen.After(cur.lastSeen) {
+			freshest[norm] = w
+		}
+	}
+	out := make([]api.WorkerInfo, 0, len(freshest))
+	for norm, w := range freshest {
 		out = append(out, api.WorkerInfo{
 			ID:           w.id,
-			URL:          w.url,
+			URL:          norm,
 			RegisteredMS: w.registered.UnixMilli(),
 			LastSeenMS:   w.lastSeen.UnixMilli(),
 		})

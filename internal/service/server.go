@@ -6,8 +6,9 @@
 //   - a persistent run store: every lifecycle transition is journaled
 //     to disk (append-only JSONL with snapshot compaction) and
 //     recovered on restart — terminal runs are served byte-identical
-//     from the journal, queued runs are re-admitted, and in-flight
-//     runs are reported interrupted (store.go);
+//     from the journal, queued runs are re-admitted, in-flight
+//     distributed runs resume from their checkpointed shards, and
+//     other in-flight runs are reported interrupted (store.go);
 //   - an admission-controlled job queue: bounded depth, per-client
 //     queued+running quotas, and priority ordering, with 429/503 +
 //     Retry-After on overload (queue.go);
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"fveval/internal/dist"
+	"fveval/internal/fault"
 	"fveval/internal/obs"
 	"fveval/internal/service/api"
 	"fveval/internal/task"
@@ -304,6 +306,21 @@ func (s *Server) recover() error {
 			s.qseq++
 			s.queue.push(qitem{id: id, priority: rec.Sub.Priority, seq: s.qseq})
 		case api.StateRunning:
+			if rec.Sub.Distributed {
+				// A distributed run checkpoints each completed shard to
+				// the store, so the crash lost only the in-flight shards:
+				// re-admit it and let the coordinator resume from the
+				// survivors instead of reporting it interrupted.
+				rs.rec.Status = api.StateQueued
+				rs.rec.StartedMS = 0
+				rs.armTrace()
+				s.runs[id] = rs
+				s.queuedCount++
+				s.clientLoad[rec.Client]++
+				s.qseq++
+				s.queue.push(qitem{id: id, priority: rec.Sub.Priority, seq: s.qseq})
+				continue
+			}
 			// In flight at the crash: its engine state is gone.
 			rs.rec.Status = api.StateInterrupted
 			rs.rec.Error = "server restarted while the run was in flight"
@@ -526,6 +543,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"a shard-scoped (partial) run cannot itself be distributed")
 		return
 	}
+	if sub.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "timeout_ms must be non-negative")
+		return
+	}
 	client := clientID(r)
 	key, keyErr := resultKey(sub.Request, sub.Partial)
 	if keyErr != nil {
@@ -686,6 +707,14 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, rs *run
 	if rs.tracer != nil {
 		ctx = obs.ContextWithSpan(obs.NewContext(ctx, rs.tracer), rs.rootSp)
 	}
+	if sub.TimeoutMS > 0 {
+		// End-to-end deadline: the remaining budget rides the context so
+		// distributed shard requests forward it to workers (the client
+		// turns it back into timeout_ms per shard submission).
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, time.Duration(sub.TimeoutMS)*time.Millisecond)
+		defer cancelT()
+	}
 
 	started := s.now()
 	var (
@@ -695,7 +724,7 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, rs *run
 	)
 	switch {
 	case sub.Distributed:
-		run, err = s.runDistributed(ctx, req)
+		run, err = s.runDistributed(ctx, rs, req)
 	case sub.Partial:
 		partial, err = s.eng.RunPartial(ctx, req)
 	default:
@@ -719,11 +748,33 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, rs *run
 }
 
 // runDistributed fans one run across the live worker registry via the
-// dist coordinator; shard retries and worker benching feed /metrics.
-func (s *Server) runDistributed(ctx context.Context, req task.Request) (*task.Run, error) {
+// dist coordinator. Completed shards are checkpointed to the store as
+// they land, so a coordinator crash resumes instead of restarting;
+// shard retries, hedges, and breaker transitions feed /metrics.
+func (s *Server) runDistributed(ctx context.Context, rs *runState, req task.Request) (*task.Run, error) {
+	rs.mu.Lock()
+	checkpoints := rs.rec.Checkpoints
+	ckShards := rs.rec.CheckpointShards
+	rs.mu.Unlock()
+
+	// A run resumed after a coordinator restart can come up before its
+	// workers have re-registered (they heartbeat every TTL/3 and fall
+	// back to registration on 404), so wait out up to one TTL for the
+	// fleet rather than failing the recovery immediately.
 	workers := s.registry.live()
 	if len(workers) == 0 {
-		return nil, fmt.Errorf("no live workers registered")
+		deadline := s.now().Add(s.cfg.WorkerTTL)
+		for len(workers) == 0 {
+			if s.now().After(deadline) {
+				return nil, fmt.Errorf("no live workers registered")
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+			workers = s.registry.live()
+		}
 	}
 	runners := make([]dist.Runner, len(workers))
 	for i, w := range workers {
@@ -731,7 +782,8 @@ func (s *Server) runDistributed(ctx context.Context, req task.Request) (*task.Ru
 	}
 	progress := req.Progress
 	req.Progress = nil
-	coord, err := dist.New(runners, dist.Options{
+	opts := dist.Options{
+		Hedge: true,
 		Progress: func(ev dist.Event) {
 			switch ev.Type {
 			case dist.EventJob:
@@ -740,9 +792,25 @@ func (s *Server) runDistributed(ctx context.Context, req task.Request) (*task.Ru
 				}
 			case dist.EventShardRetry:
 				s.metrics.shardRetries.Add(1)
+			case dist.EventShardHedge:
+				s.metrics.shardHedges.Add(1)
+			case dist.EventWorkerDown:
+				s.metrics.breakerTrips.Add(1)
+			case dist.EventWorkerUp:
+				s.metrics.breakerRecoveries.Add(1)
 			}
 		},
-	})
+		OnPartial: func(shard, total int, p *task.Partial) {
+			s.checkpoint(rs, shard, total, p)
+		},
+	}
+	if len(checkpoints) > 0 && ckShards > 0 {
+		// Pin the plan to the shard count the checkpoints were cut
+		// against; indices are only meaningful for that exact split.
+		opts.Shards = ckShards
+		opts.Completed = checkpoints
+	}
+	coord, err := dist.New(runners, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -750,7 +818,38 @@ func (s *Server) runDistributed(ctx context.Context, req task.Request) (*task.Ru
 	if err != nil {
 		return nil, err
 	}
+	if res.Restored > 0 {
+		s.metrics.checkpointRestores.Add(int64(res.Restored))
+	}
 	return res.Run, nil
+}
+
+// checkpoint persists one completed shard of an in-flight distributed
+// run. The record map is replaced copy-on-write under rs.mu (never
+// mutated in place) so concurrent snapshot compaction can marshal the
+// old map without a lock on its contents.
+func (s *Server) checkpoint(rs *runState, shard, total int, p *task.Partial) {
+	nowMS := s.now().UnixMilli()
+	rs.mu.Lock()
+	if api.Terminal(rs.rec.Status) {
+		// A cancel raced the shard landing; never resurrect it.
+		rs.mu.Unlock()
+		return
+	}
+	next := make(map[int]*task.Partial, len(rs.rec.Checkpoints)+1)
+	if rs.rec.CheckpointShards == total {
+		for k, v := range rs.rec.Checkpoints {
+			next[k] = v
+		}
+	}
+	next[shard] = p
+	rs.rec.Checkpoints = next
+	rs.rec.CheckpointShards = total
+	id := rs.rec.ID
+	rs.mu.Unlock()
+
+	s.metrics.checkpointsWritten.Add(1)
+	s.journalAppend(&journalRecord{Op: "checkpoint", MS: nowMS, ID: id, Shard: shard, Shards: total, Partial: p})
 }
 
 // finish records a run's terminal state, journals it, feeds the
@@ -763,6 +862,9 @@ func (s *Server) finish(rs *runState, run *task.Run, partial *task.Partial, err 
 	case errors.Is(err, context.Canceled):
 		status = api.StateCancelled
 		errMsg = err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		status = api.StateError
+		errMsg = "run exceeded its deadline (timeout_ms)"
 	default:
 		status = api.StateError
 		errMsg = err.Error()
@@ -775,6 +877,8 @@ func (s *Server) finish(rs *runState, run *task.Run, partial *task.Partial, err 
 	rs.rec.FinishedMS = nowMS
 	rs.rec.Run = run
 	rs.rec.Partial = partial
+	rs.rec.Checkpoints = nil
+	rs.rec.CheckpointShards = 0
 	id, client, sub := rs.rec.ID, rs.rec.Client, rs.rec.Sub
 	close(rs.notify)
 	rs.mu.Unlock()
@@ -1093,6 +1197,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // handleRegister adds a worker to the live fleet:
 // POST /v1/workers/register {"url": "http://host:port"}.
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if err := fault.Hit(fault.WorkerRegister); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, api.CodeInternal, err.Error())
+		return
+	}
 	var req api.RegisterRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	dec.DisallowUnknownFields()
@@ -1116,6 +1225,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 // handleHeartbeat refreshes liveness: POST /v1/workers/{id}/heartbeat.
 // 404 means the worker was evicted and must re-register.
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	// Delay-only plans stall the heartbeat past the TTL (forcing the
+	// eviction → 404 → re-register path); error plans reject it.
+	if err := fault.Hit(fault.WorkerHeartbeat); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, api.CodeInternal, err.Error())
+		return
+	}
 	id := r.PathValue("id")
 	if !s.registry.heartbeat(id) {
 		writeError(w, http.StatusNotFound, api.CodeNotFound, "unknown worker "+id+" (re-register)")

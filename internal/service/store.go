@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"fveval/internal/fault"
 	"fveval/internal/service/api"
 	"fveval/internal/task"
 )
@@ -21,8 +22,9 @@ import (
 // then journal, tolerating a torn final line (the kill -9 case).
 // Terminal runs therefore survive restarts byte-for-byte — a
 // recovered Report re-encodes identically to its pre-crash JSON —
-// while queued runs are re-admitted and in-flight runs are reported
-// interrupted (their partial engine state is gone).
+// while queued runs are re-admitted, in-flight distributed runs
+// resume from their checkpointed shards, and other in-flight runs are
+// reported interrupted (their partial engine state is gone).
 const (
 	journalFile  = "journal.jsonl"
 	snapshotFile = "snapshot.json"
@@ -47,14 +49,22 @@ type runRecord struct {
 	FinishedMS int64          `json:"finished_ms,omitempty"`
 	Run        *task.Run      `json:"run,omitempty"`
 	Partial    *task.Partial  `json:"partial,omitempty"`
+	// Checkpoints hold the completed shard partials of an in-flight
+	// distributed run, keyed by shard index; CheckpointShards pins the
+	// plan size they were cut against (checkpoint indices are only
+	// meaningful for that exact shard count). Recovery reseeds the
+	// dist coordinator from them instead of reporting the run
+	// interrupted; both clear when the run finishes.
+	Checkpoints      map[int]*task.Partial `json:"checkpoints,omitempty"`
+	CheckpointShards int                   `json:"checkpoint_shards,omitempty"`
 }
 
 // journalRecord is one append-only journal line.
 type journalRecord struct {
-	Op string `json:"op"` // "submit" | "start" | "finish" | "evict"
+	Op string `json:"op"` // "submit" | "start" | "finish" | "evict" | "checkpoint"
 	MS int64  `json:"ms"`
-	// ID locates the run (submit/start/finish); IDs carries a batch
-	// eviction.
+	// ID locates the run (submit/start/finish/checkpoint); IDs carries
+	// a batch eviction.
 	ID  string   `json:"id,omitempty"`
 	IDs []string `json:"ids,omitempty"`
 	// submit payload
@@ -66,6 +76,10 @@ type journalRecord struct {
 	Cached  bool          `json:"cached,omitempty"`
 	Run     *task.Run     `json:"run,omitempty"`
 	Partial *task.Partial `json:"partial,omitempty"`
+	// checkpoint payload: one completed shard of a distributed run
+	// (Partial above carries the shard's grids).
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
 }
 
 // snapshot is the compacted on-disk state.
@@ -167,6 +181,21 @@ func applyRecord(state map[string]*runRecord, rec *journalRecord) {
 			r.FinishedMS = rec.MS
 			r.Run = rec.Run
 			r.Partial = rec.Partial
+			r.Checkpoints = nil
+			r.CheckpointShards = 0
+		}
+	case "checkpoint":
+		// A checkpoint is only meaningful for a run still in flight; a
+		// terminal record (a cancel that raced the shard landing) must
+		// never be resurrected by a late checkpoint.
+		if r, ok := state[rec.ID]; ok && !api.Terminal(r.Status) && rec.Partial != nil {
+			if r.Checkpoints == nil || r.CheckpointShards != rec.Shards {
+				// First checkpoint, or a re-plan under a different shard
+				// count: earlier indices no longer line up.
+				r.Checkpoints = map[int]*task.Partial{}
+				r.CheckpointShards = rec.Shards
+			}
+			r.Checkpoints[rec.Shard] = rec.Partial
 		}
 	case "evict":
 		for _, id := range rec.IDs {
@@ -182,13 +211,26 @@ func (j *journal) append(rec *journalRecord) (int, error) {
 	if j == nil {
 		return 0, nil
 	}
+	if err := fault.Hit(fault.JournalAppend); err != nil {
+		return 0, err
+	}
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return 0, err
 	}
+	line := append(data, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(append(data, '\n')); err != nil {
+	// Torn-write seam: a firing cut persists only a prefix of the line
+	// — the on-disk shape of a crash between write and fsync — and
+	// fails the append. Recovery treats the torn tail as the expected
+	// kill -9 artifact.
+	if off, ok := fault.CutLen(fault.JournalFsync, len(line)); ok {
+		j.f.Write(line[:off]) //nolint:errcheck
+		j.f.Sync()            //nolint:errcheck
+		return 0, fmt.Errorf("service: journal append torn at byte %d/%d (injected)", off, len(line))
+	}
+	if _, err := j.f.Write(line); err != nil {
 		return 0, err
 	}
 	if err := j.f.Sync(); err != nil {
@@ -206,6 +248,9 @@ func (j *journal) append(rec *journalRecord) (int, error) {
 func (j *journal) compact(records []*runRecord) error {
 	if j == nil {
 		return nil
+	}
+	if err := fault.Hit(fault.SnapshotCompact); err != nil {
+		return err
 	}
 	sorted := append([]*runRecord(nil), records...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a].ID < sorted[b].ID })

@@ -259,8 +259,10 @@ func TestRetainAgeEviction(t *testing.T) {
 
 // TestRestartRecovery is the acceptance e2e for the persistent run
 // store: a server dies abruptly (Close is kill -9-shaped) with one
-// run finished, one in flight, and one still queued. On restart over
-// the same data dir the finished run is served byte-identical, the
+// run finished, one distributed run in flight, one local run in
+// flight, and one still queued. On restart over the same data dir the
+// finished run is served byte-identical, the distributed in-flight
+// run resumes through the queue (not interrupted), the local
 // in-flight run is reported interrupted, and the queued run resumes
 // to completion.
 func TestRestartRecovery(t *testing.T) {
@@ -337,6 +339,34 @@ func TestRestartRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// 4. A local (non-distributed) run pinned in flight at the crash:
+	// the engine cannot be gated from outside, so append the exact
+	// journal suffix kill -9 leaves behind — a submit and a start with
+	// no finish.
+	jf, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSub := api.Submission{Request: task.Request{Task: "dataset-stats"}}
+	for _, rec := range []*journalRecord{
+		{Op: "submit", MS: 1, ID: "run-000099", Client: "ip-x", Sub: &localSub},
+		{Op: "start", MS: 2, ID: "run-000099"},
+	} {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := jf.Write(append(line, '\n')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jf.Close()
+
+	// A functioning worker for the restarted server, so the resumed
+	// distributed run has a fleet to finish on.
+	goodWorker := httptest.NewServer(newTestServer(t, Config{Engine: task.NewEngine(engine.Config{Workers: 1})}))
+	defer goodWorker.Close()
+
 	// Restart over the same data dir.
 	s2, err := New(Config{
 		Engine:      task.NewEngine(engine.Config{Workers: 1}),
@@ -347,6 +377,7 @@ func TestRestartRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
+	s2.registry.register(goodWorker.URL)
 	srv2 := httptest.NewServer(s2)
 	defer srv2.Close()
 
@@ -364,11 +395,19 @@ func TestRestartRecovery(t *testing.T) {
 		t.Fatalf("recovered Run diverged\n--- recovered ---\n%s\n--- original ---\n%s", gotRun, wantRun)
 	}
 
-	// In-flight run: interrupted, with an explanation.
+	// In-flight distributed run: resumed through the queue and driven
+	// to completion on the re-registered fleet, not interrupted.
+	resumedDist := pollTerminal(t, srv2.URL, inflight.ID)
+	if resumedDist.Status != api.StateDone {
+		t.Fatalf("in-flight distributed run recovered as %q (%q), want resumed to done",
+			resumedDist.Status, resumedDist.Error)
+	}
+
+	// In-flight local run: interrupted, with an explanation.
 	var interruptedView api.RunView
-	getJSON(t, srv2.URL+"/v1/runs/"+inflight.ID, &interruptedView)
+	getJSON(t, srv2.URL+"/v1/runs/run-000099", &interruptedView)
 	if interruptedView.Status != api.StateInterrupted || interruptedView.Error == "" {
-		t.Fatalf("in-flight run recovered as %q (%q)", interruptedView.Status, interruptedView.Error)
+		t.Fatalf("in-flight local run recovered as %q (%q)", interruptedView.Status, interruptedView.Error)
 	}
 
 	// Queued run: resumed and completed by the restarted server.
